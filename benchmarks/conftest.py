@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``test_bench_*`` file regenerates one experiment of DESIGN.md §3
+at bench scale: it times the driver with pytest-benchmark, prints the
+same rows/series the paper's evaluation would report (visible with
+``pytest -s`` or in the captured output), and asserts the paper claim's
+verdict.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import ExperimentResult
+
+
+def run_and_report(benchmark, driver, **kwargs) -> ExperimentResult:
+    """Benchmark one experiment driver once and print its table."""
+    result = benchmark.pedantic(
+        lambda: driver(**kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result.table())
+    assert result.passed, result.table()
+    return result

@@ -1,0 +1,15 @@
+"""Bench A1 — ablation: quantile count k (quality/rounds trade-off)."""
+
+from conftest import run_and_report
+from repro.analysis.experiments import experiment_a1_quantile_sweep
+
+
+def test_bench_a1_quantile_sweep(benchmark):
+    run_and_report(
+        benchmark,
+        experiment_a1_quantile_sweep,
+        n=128,
+        k_values=(2, 4, 8, 16, 32),
+        trials=3,
+        seed=0,
+    )

@@ -1,0 +1,15 @@
+"""Bench A2 — ablation: maximal-matching oracle choice inside ASM."""
+
+from conftest import run_and_report
+from repro.analysis.experiments import experiment_a2_mm_ablation
+
+
+def test_bench_a2_mm_ablation(benchmark):
+    run_and_report(
+        benchmark,
+        experiment_a2_mm_ablation,
+        n=96,
+        eps=0.25,
+        trials=3,
+        seed=0,
+    )

@@ -1,0 +1,15 @@
+"""Bench A3 — CONGEST message-level run vs logical engine (validation
+plus message/bit accounting)."""
+
+from conftest import run_and_report
+from repro.analysis.experiments import experiment_a3_congest_validation
+
+
+def test_bench_a3_congest_validation(benchmark):
+    run_and_report(
+        benchmark,
+        experiment_a3_congest_validation,
+        n_values=(6, 8, 10),
+        eps=0.5,
+        seed=0,
+    )

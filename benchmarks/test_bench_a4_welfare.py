@@ -1,0 +1,15 @@
+"""Bench A4 — extension: rank welfare of ASM vs the stable lattice."""
+
+from conftest import run_and_report
+from repro.analysis.experiments import experiment_a4_welfare
+
+
+def test_bench_a4_welfare(benchmark):
+    run_and_report(
+        benchmark,
+        experiment_a4_welfare,
+        n=96,
+        eps=0.25,
+        trials=3,
+        seed=0,
+    )

@@ -1,0 +1,15 @@
+"""Bench A5 — extension: message complexity per communication edge."""
+
+from conftest import run_and_report
+from repro.analysis.experiments import experiment_a5_message_complexity
+
+
+def test_bench_a5_messages(benchmark):
+    run_and_report(
+        benchmark,
+        experiment_a5_message_complexity,
+        n_values=(32, 64, 128, 256),
+        eps=0.25,
+        trials=2,
+        seed=0,
+    )

@@ -1,0 +1,17 @@
+"""Bench E10 — Corollary 2: AMM(η, δ) almost-maximality at fixed budget."""
+
+from conftest import run_and_report
+from repro.analysis.experiments import experiment_e10_amm
+
+
+def test_bench_e10_amm(benchmark):
+    run_and_report(
+        benchmark,
+        experiment_e10_amm,
+        n_values=(64, 128, 256),
+        eta=0.05,
+        delta=0.1,
+        edge_prob=0.1,
+        trials=10,
+        seed=0,
+    )

@@ -1,0 +1,15 @@
+"""Bench E11 — Remark 4: ASM's synchronous run-time is sub-quadratic."""
+
+from conftest import run_and_report
+from repro.analysis.experiments import experiment_e11_synchronous_time
+
+
+def test_bench_e11_synchronous_time(benchmark):
+    run_and_report(
+        benchmark,
+        experiment_e11_synchronous_time,
+        n_values=(32, 64, 128, 256),
+        eps=0.4,
+        trials=2,
+        seed=0,
+    )

@@ -1,0 +1,15 @@
+"""Bench E12 — decentralized better-response dynamics vs ASM."""
+
+from conftest import run_and_report
+from repro.analysis.experiments import experiment_e12_decentralized_dynamics
+
+
+def test_bench_e12_dynamics(benchmark):
+    run_and_report(
+        benchmark,
+        experiment_e12_decentralized_dynamics,
+        n_values=(16, 32, 64),
+        eps=0.2,
+        trials=3,
+        seed=0,
+    )

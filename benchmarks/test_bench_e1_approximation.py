@@ -1,0 +1,20 @@
+"""Bench E1 — Theorem 3: (1−ε)-stability of ASM's output.
+
+Regenerates the table: instability (blocking pairs / |E|) of ASM across
+workloads, sizes and ε, all bounded by ε.
+"""
+
+from conftest import run_and_report
+from repro.analysis.experiments import experiment_e1_approximation
+
+
+def test_bench_e1_approximation(benchmark):
+    run_and_report(
+        benchmark,
+        experiment_e1_approximation,
+        n_values=(64, 128, 256),
+        eps_values=(0.1, 0.2, 0.4),
+        workloads=("complete", "gnp25"),
+        trials=3,
+        seed=0,
+    )

@@ -1,0 +1,19 @@
+"""Bench E2 — Theorem 4: polylog round growth vs Gale–Shapley.
+
+Regenerates the figure series: ASM scheduled/active rounds and GS
+rounds/proposals as functions of n, plus log-log slopes.
+"""
+
+from conftest import run_and_report
+from repro.analysis.experiments import experiment_e2_rounds_scaling
+
+
+def test_bench_e2_rounds_scaling(benchmark):
+    run_and_report(
+        benchmark,
+        experiment_e2_rounds_scaling,
+        n_values=(32, 64, 128, 256),
+        eps=0.4,
+        trials=2,
+        seed=0,
+    )

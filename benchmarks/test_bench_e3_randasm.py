@@ -1,0 +1,16 @@
+"""Bench E3 — Theorem 5: RandASM success probability and round budget."""
+
+from conftest import run_and_report
+from repro.analysis.experiments import experiment_e3_rand_asm
+
+
+def test_bench_e3_rand_asm(benchmark):
+    run_and_report(
+        benchmark,
+        experiment_e3_rand_asm,
+        n_values=(32, 64, 128),
+        eps=0.25,
+        failure_prob=0.1,
+        trials=5,
+        seed=0,
+    )

@@ -1,0 +1,16 @@
+"""Bench E4 — Theorem 6: AlmostRegularASM's n-independent round budget."""
+
+from conftest import run_and_report
+from repro.analysis.experiments import experiment_e4_almost_regular
+
+
+def test_bench_e4_almost_regular(benchmark):
+    run_and_report(
+        benchmark,
+        experiment_e4_almost_regular,
+        n_values=(32, 64, 128, 256),
+        eps=0.3,
+        failure_prob=0.1,
+        trials=3,
+        seed=0,
+    )

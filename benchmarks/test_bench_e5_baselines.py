@@ -1,0 +1,20 @@
+"""Bench E5 — baseline comparison at matched round budgets.
+
+ASM vs truncated Gale–Shapley vs full GS vs random greedy across
+workload families (the introduction's positioning of the paper).
+"""
+
+from conftest import run_and_report
+from repro.analysis.experiments import experiment_e5_baselines
+
+
+def test_bench_e5_baselines(benchmark):
+    run_and_report(
+        benchmark,
+        experiment_e5_baselines,
+        n=128,
+        eps=0.2,
+        workloads=("complete", "gnp25", "bounded8", "master10"),
+        trials=3,
+        seed=0,
+    )

@@ -1,0 +1,15 @@
+"""Bench E6 — Lemma 8 / Corollary 1: Israeli–Itai decay and maximality."""
+
+from conftest import run_and_report
+from repro.analysis.experiments import experiment_e6_israeli_itai_decay
+
+
+def test_bench_e6_israeli_itai(benchmark):
+    run_and_report(
+        benchmark,
+        experiment_e6_israeli_itai_decay,
+        n_values=(64, 128, 256),
+        edge_prob=0.1,
+        trials=5,
+        seed=0,
+    )

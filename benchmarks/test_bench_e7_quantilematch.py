@@ -1,0 +1,16 @@
+"""Bench E7 — Lemma 2: the QuantileMatch guarantee under invariant checks."""
+
+from conftest import run_and_report
+from repro.analysis.experiments import experiment_e7_quantile_match
+
+
+def test_bench_e7_quantile_match(benchmark):
+    run_and_report(
+        benchmark,
+        experiment_e7_quantile_match,
+        n_values=(32, 64),
+        eps=0.25,
+        workloads=("complete", "gnp25"),
+        trials=3,
+        seed=0,
+    )

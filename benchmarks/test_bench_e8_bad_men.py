@@ -1,0 +1,15 @@
+"""Bench E8 — Lemma 6: at most a δ-fraction of active men end bad."""
+
+from conftest import run_and_report
+from repro.analysis.experiments import experiment_e8_bad_men
+
+
+def test_bench_e8_bad_men(benchmark):
+    run_and_report(
+        benchmark,
+        experiment_e8_bad_men,
+        n_values=(64, 128),
+        eps=0.4,
+        trials=3,
+        seed=0,
+    )

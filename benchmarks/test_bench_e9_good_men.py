@@ -1,0 +1,16 @@
+"""Bench E9 — Lemma 3 / Remark 2: good men avoid (2/k)-blocking pairs."""
+
+from conftest import run_and_report
+from repro.analysis.experiments import experiment_e9_good_men
+
+
+def test_bench_e9_good_men(benchmark):
+    run_and_report(
+        benchmark,
+        experiment_e9_good_men,
+        n_values=(32, 64),
+        eps=0.25,
+        workloads=("complete", "gnp25"),
+        trials=3,
+        seed=0,
+    )

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the library's primitives.
+
+These measure throughput of the hot paths (blocking-pair counting,
+Gale–Shapley, maximal matching, one full ASM run) so performance
+regressions in the substrates are visible independently of the
+experiment verdicts.
+"""
+
+import random
+
+from repro.analysis.stability import count_blocking_pairs
+from repro.baselines.gale_shapley import gale_shapley
+from repro.core.asm import asm
+from repro.core.matching import Matching
+from repro.graphs import bipartite_graph_from_edges
+from repro.mm.deterministic import deterministic_maximal_matching
+from repro.mm.greedy import greedy_maximal_matching
+from repro.mm.israeli_itai import israeli_itai_maximal_matching
+from repro.workloads.generators import complete_uniform, gnp_incomplete
+
+N = 128
+
+
+def test_bench_blocking_pair_count(benchmark):
+    prefs = complete_uniform(N, seed=0)
+    matching = Matching([(i, i) for i in range(N)])
+    count = benchmark(count_blocking_pairs, prefs, matching)
+    assert count >= 0
+
+
+def test_bench_gale_shapley(benchmark):
+    prefs = complete_uniform(N, seed=0)
+    result = benchmark(gale_shapley, prefs)
+    assert len(result.matching) == N
+
+
+def test_bench_greedy_mm(benchmark):
+    prefs = gnp_incomplete(N, 0.2, seed=0)
+    g = bipartite_graph_from_edges(prefs.iter_edges(), N, N)
+    result = benchmark(greedy_maximal_matching, g)
+    assert result.size > 0
+
+
+def test_bench_deterministic_mm(benchmark):
+    prefs = gnp_incomplete(N, 0.2, seed=0)
+    g = bipartite_graph_from_edges(prefs.iter_edges(), N, N)
+    result = benchmark(deterministic_maximal_matching, g)
+    assert result.size > 0
+
+
+def test_bench_israeli_itai_mm(benchmark):
+    prefs = gnp_incomplete(N, 0.2, seed=0)
+    g = bipartite_graph_from_edges(prefs.iter_edges(), N, N)
+    result = benchmark(
+        lambda: israeli_itai_maximal_matching(g, random.Random(1))
+    )
+    assert result.size > 0
+
+
+def test_bench_full_asm_run(benchmark):
+    prefs = complete_uniform(N, seed=0)
+    result = benchmark.pedantic(
+        lambda: asm(prefs, eps=0.25), rounds=3, iterations=1
+    )
+    assert len(result.matching) > 0
+
+
+def test_bench_workload_generation(benchmark):
+    prefs = benchmark(complete_uniform, N, 7)
+    assert prefs.n_men == N

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Scenario: plug your own maximal-matching oracle into ASM.
+
+Theorem 3's analysis needs exactly one thing from Step 3 of
+ProposalRound: the returned matching must be *maximal* in the
+accepted-proposal graph (Definition 3).  This example implements a
+custom oracle — highest-degree-first greedy — verifies its output
+against the library's Definition-3 checker on every call, runs ASM
+with it, and compares against the built-in oracles.
+
+Run:  python examples/custom_oracle.py
+"""
+
+from __future__ import annotations
+
+from repro import asm, complete_uniform, instability
+from repro.analysis.tables import format_table
+from repro.core.rounds import ActualCost
+from repro.graphs import Graph
+from repro.mm.oracles import (
+    deterministic_oracle,
+    israeli_itai_oracle,
+    port_order_oracle,
+)
+from repro.mm.result import MMResult
+from repro.mm.verify import is_maximal_matching
+
+
+def degree_greedy_oracle(graph: Graph) -> MMResult:
+    """Custom oracle: repeatedly match the highest-degree free vertex.
+
+    A centralized heuristic (rounds reported as 0) that tends to
+    produce *large* maximal matchings — useful if you care about
+    matching size as well as stability.
+    """
+    g = graph.copy()
+    partner = {}
+    while True:
+        candidates = [v for v in g.nodes() if g.degree(v) > 0]
+        if not candidates:
+            break
+        v = max(candidates, key=lambda u: (g.degree(u), repr(u)))
+        u = max(g.neighbors(v), key=lambda x: (g.degree(x), repr(x)))
+        partner[v] = u
+        partner[u] = v
+        g.remove_node(v)
+        g.remove_node(u)
+    assert is_maximal_matching(graph, partner), "oracle must be maximal!"
+    return MMResult(partner=partner, rounds=0)
+
+
+def main() -> None:
+    n, eps = 128, 0.2
+    prefs = complete_uniform(n, seed=0)
+
+    oracles = {
+        "custom degree-greedy": degree_greedy_oracle,
+        "deterministic pointer": deterministic_oracle(),
+        "bipartite port-order": port_order_oracle(),
+        "Israeli-Itai": israeli_itai_oracle(seed=1),
+    }
+    rows = []
+    for name, oracle in oracles.items():
+        run = asm(prefs, eps, mm_oracle=oracle, mm_cost_model=ActualCost())
+        rows.append(
+            {
+                "oracle": name,
+                "instability": instability(prefs, run.matching),
+                "eps_bound": eps,
+                "matching_size": len(run.matching),
+                "rounds_active": run.rounds_active,
+            }
+        )
+    print(format_table(rows, title=f"ASM with pluggable oracles (n={n})"))
+    print(
+        "\nAll oracles satisfy the eps bound — Theorem 3 only needs "
+        "maximality\n(verified per call inside the custom oracle)."
+    )
+
+
+if __name__ == "__main__":
+    main()

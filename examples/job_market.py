@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Scenario: a decentralized job market with almost-regular demand.
+
+Candidates (men) each apply to a similar number of positions (women) —
+an α-almost-regular market in the paper's Section 5.2 sense.  For such
+markets ``AlmostRegularASM`` (Theorem 6) finds a (1−ε)-stable matching
+in a number of communication rounds that does not depend on the market
+size at all.  This script demonstrates that: the scheduled round budget
+stays exactly flat as the market grows 16×, while quality stays within
+ε.
+
+Run:  python examples/job_market.py
+"""
+
+from __future__ import annotations
+
+from repro import almost_regular, almost_regular_asm, instability
+from repro.analysis.tables import format_table
+from repro.core.almost_regular import plan_almost_regular
+
+
+def main() -> None:
+    eps, delta = 0.3, 0.1
+    d_min, d_max = 6, 12  # every candidate applies to 6-12 positions
+
+    rows = []
+    for n in (64, 128, 256, 512, 1024):
+        prefs = almost_regular(n, d_min, d_max, seed=n)
+        alpha = prefs.regularity_alpha()
+        plan = plan_almost_regular(prefs, eps, delta, alpha=2.0)
+        run = almost_regular_asm(prefs, eps, delta, alpha=2.0, seed=1)
+        rows.append(
+            {
+                "n": n,
+                "|E|": prefs.num_edges,
+                "alpha_measured": alpha,
+                "instability": instability(prefs, run.matching),
+                "eps": eps,
+                "removed_men": len(run.removed_men),
+                "rounds_scheduled": run.rounds_scheduled,
+                "amm_iters_per_call": plan.amm_iterations_per_call,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title="job market: AlmostRegularASM at fixed (alpha, eps, delta)",
+        )
+    )
+    print(
+        "\nNote the rounds_scheduled column: identical for every market "
+        "size —\nTheorem 6's O(1)-round guarantee for almost-regular "
+        "preferences."
+    )
+
+
+if __name__ == "__main__":
+    main()

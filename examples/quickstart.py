@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Quickstart: find an almost stable matching in a random market.
+
+Builds a complete random preference profile, runs the paper's three
+algorithms plus the Gale–Shapley baseline, and prints a side-by-side
+stability/rounds comparison.
+
+Run:  python examples/quickstart.py [n] [eps]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    almost_regular_asm,
+    asm,
+    complete_uniform,
+    gale_shapley,
+    instability,
+    rand_asm,
+    stability_report,
+)
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    eps = float(sys.argv[2]) if len(sys.argv) > 2 else 0.2
+
+    print(f"Generating a complete random market with n = {n} ...")
+    prefs = complete_uniform(n, seed=0)
+
+    rows = []
+
+    # The paper's deterministic algorithm (Theorem 1 / Theorem 3).
+    result = asm(prefs, eps)
+    rep = stability_report(prefs, result.matching)
+    rows.append(
+        {
+            "algorithm": "ASM (deterministic)",
+            "blocking_pairs": rep.blocking_pairs,
+            "instability": rep.instability,
+            "eps_bound": eps,
+            "rounds_active": result.rounds_active,
+        }
+    )
+
+    # The randomized variant (Theorem 5).
+    result = rand_asm(prefs, eps, failure_prob=0.1, seed=1)
+    rows.append(
+        {
+            "algorithm": "RandASM",
+            "blocking_pairs": stability_report(
+                prefs, result.matching
+            ).blocking_pairs,
+            "instability": instability(prefs, result.matching),
+            "eps_bound": eps,
+            "rounds_active": result.rounds_active,
+        }
+    )
+
+    # The constant-round variant for complete preferences (Theorem 6).
+    result = almost_regular_asm(prefs, eps, seed=2)
+    rows.append(
+        {
+            "algorithm": "AlmostRegularASM",
+            "blocking_pairs": stability_report(
+                prefs, result.matching
+            ).blocking_pairs,
+            "instability": instability(prefs, result.matching),
+            "eps_bound": eps,
+            "rounds_active": result.rounds_active,
+        }
+    )
+
+    # The exact (but slow in the distributed model) classical baseline.
+    gs = gale_shapley(prefs)
+    rows.append(
+        {
+            "algorithm": "Gale-Shapley (exact)",
+            "blocking_pairs": 0,
+            "instability": 0.0,
+            "eps_bound": 0.0,
+            "rounds_active": gs.proposals,
+        }
+    )
+
+    print(format_table(rows, title=f"\nn={n}, |E|={prefs.num_edges}"))
+    print(
+        "\nEvery ASM variant stays within its eps bound; Gale-Shapley is "
+        "exact\nbut needs Theta(n^2) sequential proposals in the worst case."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Scenario: matching in a social network with locality.
+
+The paper motivates the distributed model with social networks: players
+can only be matched with acquaintances and never talk to strangers.
+Here players live in the unit square and only know (and rank, by
+distance) partners within a radius — a sparse, irregular communication
+graph with unbounded preference lists, exactly the regime where ASM is
+the first sub-polynomial-round algorithm.
+
+We compare, at the SAME communication budget, ASM against truncated
+Gale–Shapley (the prior art for almost stable matchings, whose
+guarantee only covers bounded lists), plus the exact GS reference.
+
+Run:  python examples/social_network.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    asm,
+    euclidean,
+    gale_shapley,
+    instability,
+    parallel_gale_shapley,
+    truncated_gale_shapley,
+)
+from repro.analysis.tables import format_table
+from repro.baselines.gale_shapley import ROUNDS_PER_GS_ITERATION
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    eps = 0.2
+
+    print(f"Building a latent-space acquaintance graph with n = {n} ...")
+    prefs = euclidean(n, seed=3)
+    degrees = [prefs.deg_man(m) for m in range(n) if prefs.deg_man(m)]
+    print(
+        f"|E| = {prefs.num_edges}, degrees: min={min(degrees)}, "
+        f"max={max(degrees)} (alpha = {prefs.regularity_alpha():.1f})"
+    )
+
+    run = asm(prefs, eps)
+    budget_iterations = max(1, run.rounds_active // ROUNDS_PER_GS_ITERATION)
+    tgs = truncated_gale_shapley(prefs, budget_iterations)
+    full = parallel_gale_shapley(prefs)
+    exact = gale_shapley(prefs)
+
+    rows = [
+        {
+            "algorithm": f"ASM(eps={eps})",
+            "instability": instability(prefs, run.matching),
+            "matched": len(run.matching),
+            "rounds": run.rounds_active,
+        },
+        {
+            "algorithm": f"truncated GS @ same budget",
+            "instability": instability(prefs, tgs.matching),
+            "matched": len(tgs.matching),
+            "rounds": tgs.rounds,
+        },
+        {
+            "algorithm": "GS run to completion",
+            "instability": instability(prefs, full.matching),
+            "matched": len(full.matching),
+            "rounds": full.rounds,
+        },
+        {
+            "algorithm": "GS centralized (proposals)",
+            "instability": 0.0,
+            "matched": len(exact.matching),
+            "rounds": exact.proposals,
+        },
+    ]
+    print(format_table(rows, title="\nsocial-network matching"))
+    print(
+        f"\nASM is guaranteed <= {eps} instability here (unbounded lists); "
+        "truncated GS has no such guarantee outside bounded degrees."
+    )
+
+
+if __name__ == "__main__":
+    main()

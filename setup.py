@@ -1,0 +1,10 @@
+"""Shim so that editable installs work without the ``wheel`` package.
+
+The environment has setuptools but not ``wheel``; ``pip install -e .
+--no-build-isolation --no-use-pep517`` falls back to ``setup.py
+develop``, which needs this file.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Stability metrics and experiment harnesses."""
+
+from repro.analysis.stability import (
+    StabilityReport,
+    blocking_pairs_incident_to_men,
+    count_blocking_pairs,
+    find_blocking_pairs,
+    find_eps_blocking_pairs,
+    instability,
+    is_blocking_pair,
+    is_eps_blocking_pair,
+    is_eps_blocking_stable,
+    is_one_minus_eps_stable,
+    is_stable,
+    stability_report,
+)
+
+__all__ = [
+    "StabilityReport",
+    "blocking_pairs_incident_to_men",
+    "count_blocking_pairs",
+    "find_blocking_pairs",
+    "find_eps_blocking_pairs",
+    "instability",
+    "is_blocking_pair",
+    "is_eps_blocking_pair",
+    "is_eps_blocking_stable",
+    "is_one_minus_eps_stable",
+    "is_stable",
+    "stability_report",
+]

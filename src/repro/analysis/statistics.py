@@ -1,0 +1,175 @@
+"""Small statistics helpers for the experiment harness.
+
+Pure-python (no numpy dependency in the library core): means, standard
+deviations, quantiles, the geometric decay-rate estimate used to verify
+Lemma 8, and a log-log slope estimate used to classify round-complexity
+growth (polylog vs. polynomial) in experiment E2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "mean",
+    "stdev",
+    "quantile",
+    "Summary",
+    "summarize",
+    "geometric_decay_rate",
+    "loglog_slope",
+    "linear_fit",
+    "bootstrap_ci",
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for fewer than two values)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (linear interpolation; ``q`` in [0, 1])."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    stdev: float
+    min: float
+    median: float
+    max: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of ``values``."""
+    values = list(values)
+    if not values:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return Summary(
+        n=len(values),
+        mean=mean(values),
+        stdev=stdev(values),
+        min=min(values),
+        median=quantile(values, 0.5),
+        max=max(values),
+    )
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit ``y = a·x + b``; returns ``(a, b)``.
+
+    Returns ``(0, mean(ys))`` for degenerate inputs.
+    """
+    xs, ys = list(xs), list(ys)
+    if len(xs) != len(ys) or len(xs) < 2:
+        return 0.0, mean(ys)
+    mx, my = mean(xs), mean(ys)
+    sxx = sum((x - mx) ** 2 for x in xs)
+    if sxx == 0:
+        return 0.0, my
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    a = sxy / sxx
+    return a, my - a * mx
+
+
+def geometric_decay_rate(active_counts: Sequence[int]) -> float:
+    """Per-iteration survival ratio of a decaying series (Lemma 8's ``c``).
+
+    Given the active-vertex counts ``|V_0|, |V_1|, …`` of Israeli–Itai,
+    estimates ``c`` from the end-to-end geometric rate
+    ``(|V_s| / |V_0|)^{1/s}``, where ``s`` is the step at which the
+    series reaches zero (the final step is counted as shrinking to one
+    vertex, so an instant kill still reports strong decay rather than
+    log(0)).  Returns 1.0 when no decay is observable.
+    """
+    counts: List[int] = list(active_counts)
+    if len(counts) < 2 or counts[0] <= 0:
+        return 1.0
+    v0 = counts[0]
+    # Index of the first zero (inclusive endpoint), else the last index.
+    s = len(counts) - 1
+    for i, c in enumerate(counts):
+        if i > 0 and c == 0:
+            s = i
+            break
+    vs = max(1, counts[s])
+    if s == 0:
+        return 1.0
+    return (vs / v0) ** (1.0 / s)
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    iterations: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean.
+
+    Deterministic given ``seed``.  Degenerate inputs (fewer than two
+    values) return a zero-width interval at the observed mean.
+    """
+    import random as _random
+
+    values = list(values)
+    if len(values) < 2:
+        m = mean(values)
+        return (m, m)
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = _random.Random(seed)
+    n = len(values)
+    means = sorted(
+        sum(values[rng.randrange(n)] for _ in range(n)) / n
+        for _ in range(iterations)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lo = means[int(alpha * (iterations - 1))]
+    hi = means[int((1.0 - alpha) * (iterations - 1))]
+    return (lo, hi)
+
+
+def loglog_slope(ns: Sequence[float], ys: Sequence[float]) -> float:
+    """Slope of ``log y`` vs ``log n`` — the polynomial degree estimate.
+
+    A polylogarithmic quantity has slope tending to 0; ``Θ(n)`` gives
+    slope ≈ 1; ``Θ(n²)`` gives ≈ 2.  Used in E2 to separate ASM from
+    Gale–Shapley.  Points with ``y <= 0`` are skipped.
+    """
+    pts = [
+        (math.log(n), math.log(y))
+        for n, y in zip(ns, ys)
+        if n > 1 and y > 0
+    ]
+    if len(pts) < 2:
+        return 0.0
+    a, _ = linear_fit([p[0] for p in pts], [p[1] for p in pts])
+    return a

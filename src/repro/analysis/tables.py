@@ -1,0 +1,67 @@
+"""Plain-text table rendering for experiment results.
+
+The benchmark harness and CLI print the same rows/series a paper
+evaluation section would report; this module renders them as aligned
+ASCII tables so results are diffable and readable in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["format_value", "format_table"]
+
+
+def format_value(value: Any) -> str:
+    """Human-friendly cell formatting (floats to 4 significant digits)."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` (dicts) as an aligned ASCII table.
+
+    ``columns`` defaults to the keys of the first row in insertion
+    order; missing cells render as "-".
+
+    Examples
+    --------
+    >>> print(format_table([{"n": 8, "x": 0.5}], title="demo"))
+    demo
+    n | x
+    --+----
+    8 | 0.5
+    """
+    if not rows:
+        return (title + "\n(no rows)") if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [
+        [format_value(row.get(col, "-")) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    rule = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(cell.ljust(w) for cell, w in zip(r, widths)) for r in cells
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.extend([header, rule])
+    lines.extend(body)
+    return "\n".join(line.rstrip() for line in lines)

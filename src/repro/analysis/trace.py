@@ -1,0 +1,140 @@
+"""Execution tracing for ASM runs.
+
+:class:`TraceObserver` plugs into the engine's observer hooks and
+records a structured timeline: one record per executed ProposalRound
+(proposals, accepts, rejects, the accepted-proposal graph size, the
+matching size so far) plus per-outer-iteration summaries.  The
+timeline renders as an ASCII table for inspection and can be exported
+as plain dicts for downstream analysis.
+
+Example
+-------
+>>> from repro.core.asm import asm
+>>> from repro.workloads.generators import complete_uniform
+>>> trace = TraceObserver()
+>>> _ = asm(complete_uniform(16, seed=0), eps=0.5, observer=trace)
+>>> len(trace.proposal_rounds) > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List
+
+from repro.analysis.tables import format_table
+from repro.core.asm import (
+    ASMEngine,
+    ASMObserver,
+    OuterIterationStats,
+    ProposalRoundStats,
+)
+
+__all__ = ["ProposalRoundRecord", "TraceObserver"]
+
+
+@dataclass(frozen=True)
+class ProposalRoundRecord:
+    """Snapshot taken at the end of one executed ProposalRound."""
+
+    index: int
+    proposals: int
+    accepts: int
+    rejects: int
+    g0_nodes: int
+    g0_edges: int
+    matched_in_m0: int
+    mm_rounds: int
+    max_player_work: int
+    matching_size: int
+    good_men: int
+    bad_men: int
+
+
+class TraceObserver(ASMObserver):
+    """Records a per-round timeline of an ASM (or variant) run."""
+
+    def __init__(self) -> None:
+        self.proposal_rounds: List[ProposalRoundRecord] = []
+        self.quantile_match_boundaries: List[int] = []
+        self.outer_iterations: List[OuterIterationStats] = []
+
+    # ------------------------------------------------------------------
+    # Observer hooks
+    # ------------------------------------------------------------------
+
+    def on_proposal_round_end(
+        self, engine: ASMEngine, stats: ProposalRoundStats
+    ) -> None:
+        self.proposal_rounds.append(
+            ProposalRoundRecord(
+                index=len(self.proposal_rounds),
+                proposals=stats.proposals,
+                accepts=stats.accepts,
+                rejects=stats.rejects,
+                g0_nodes=stats.g0_nodes,
+                g0_edges=stats.g0_edges,
+                matched_in_m0=stats.matched_in_m0,
+                mm_rounds=stats.mm_rounds,
+                max_player_work=stats.max_player_work,
+                matching_size=len(engine.current_matching()),
+                good_men=len(engine.good_men()),
+                bad_men=len(engine.bad_men()),
+            )
+        )
+
+    def on_quantile_match_end(self, engine: ASMEngine) -> None:
+        self.quantile_match_boundaries.append(len(self.proposal_rounds))
+
+    def on_outer_iteration_end(
+        self, engine: ASMEngine, stats: OuterIterationStats
+    ) -> None:
+        self.outer_iterations.append(stats)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def records(self) -> List[Dict[str, Any]]:
+        """The per-round timeline as plain dictionaries."""
+        return [asdict(r) for r in self.proposal_rounds]
+
+    def timeline_table(self, max_rows: int = 50) -> str:
+        """Render the first ``max_rows`` proposal rounds as a table."""
+        rows = self.records()[:max_rows]
+        suffix = ""
+        if len(self.proposal_rounds) > max_rows:
+            suffix = (
+                f"\n... {len(self.proposal_rounds) - max_rows} more rounds"
+            )
+        return (
+            format_table(rows, title="ASM proposal-round timeline") + suffix
+        )
+
+    def convergence_summary(self) -> Dict[str, Any]:
+        """Headline facts about how the run converged."""
+        if not self.proposal_rounds:
+            return {
+                "proposal_rounds": 0,
+                "final_matching_size": 0,
+                "rounds_to_90pct_matched": None,
+                "total_proposals": 0,
+            }
+        final = self.proposal_rounds[-1].matching_size
+        target = 0.9 * final
+        reach = next(
+            (
+                r.index + 1
+                for r in self.proposal_rounds
+                if r.matching_size >= target
+            ),
+            None,
+        )
+        return {
+            "proposal_rounds": len(self.proposal_rounds),
+            "final_matching_size": final,
+            "rounds_to_90pct_matched": reach,
+            "total_proposals": sum(
+                r.proposals for r in self.proposal_rounds
+            ),
+        }

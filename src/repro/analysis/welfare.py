@@ -1,0 +1,101 @@
+"""Rank-welfare analysis of matchings.
+
+Stable matchings form a lattice: the man-proposing Gale–Shapley
+matching is simultaneously best-for-men and worst-for-women among all
+stable matchings, and the woman-proposing one is its mirror.  These
+helpers measure where a matching sits between the two optima:
+
+* :func:`mean_rank_men` / :func:`mean_rank_women` — the average
+  1-based rank players assign their partners (unmatched counts as
+  ``deg + 1``, the paper's convention).
+* :func:`welfare_report` — both sides' means plus the man-optimal and
+  woman-optimal stable anchors computed via Gale–Shapley on the
+  original and side-swapped profiles.
+
+This is an *extension* beyond the paper (which only bounds blocking
+pairs); experiment A4 uses it to characterize whose interests ASM's
+symmetric-ish quantile dynamics serve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stability import (
+    rank_or_unmatched_man,
+    rank_or_unmatched_woman,
+)
+from repro.baselines.gale_shapley import gale_shapley
+from repro.core.matching import Matching
+from repro.core.preferences import PreferenceProfile
+
+__all__ = [
+    "mean_rank_men",
+    "mean_rank_women",
+    "WelfareReport",
+    "welfare_report",
+    "woman_optimal_matching",
+]
+
+
+def mean_rank_men(prefs: PreferenceProfile, matching: Matching) -> float:
+    """Average over non-isolated men of their partner's 1-based rank.
+
+    Unmatched men contribute ``deg(m) + 1`` (worse than any partner).
+    Returns 0.0 when no man has a nonempty list.
+    """
+    ranks = [
+        rank_or_unmatched_man(prefs, matching, m)
+        for m in range(prefs.n_men)
+        if prefs.deg_man(m) > 0
+    ]
+    return sum(ranks) / len(ranks) if ranks else 0.0
+
+
+def mean_rank_women(prefs: PreferenceProfile, matching: Matching) -> float:
+    """Average over non-isolated women of their partner's 1-based rank."""
+    ranks = [
+        rank_or_unmatched_woman(prefs, matching, w)
+        for w in range(prefs.n_women)
+        if prefs.deg_woman(w) > 0
+    ]
+    return sum(ranks) / len(ranks) if ranks else 0.0
+
+
+def woman_optimal_matching(prefs: PreferenceProfile) -> Matching:
+    """The woman-optimal stable matching (GS with the sides swapped)."""
+    swapped = gale_shapley(prefs.swap_sides()).matching
+    return Matching((m, w) for w, m in swapped.pairs())
+
+
+@dataclass(frozen=True)
+class WelfareReport:
+    """Mean partner ranks of a matching vs the stable-lattice anchors.
+
+    ``men_rank``/``women_rank`` are the matching's means;
+    ``*_man_optimal`` and ``*_woman_optimal`` are the anchors'.
+    Smaller is better for the named side.
+    """
+
+    men_rank: float
+    women_rank: float
+    men_rank_man_optimal: float
+    women_rank_man_optimal: float
+    men_rank_woman_optimal: float
+    women_rank_woman_optimal: float
+
+
+def welfare_report(
+    prefs: PreferenceProfile, matching: Matching
+) -> WelfareReport:
+    """Compute a :class:`WelfareReport` for ``matching``."""
+    man_opt = gale_shapley(prefs).matching
+    woman_opt = woman_optimal_matching(prefs)
+    return WelfareReport(
+        men_rank=mean_rank_men(prefs, matching),
+        women_rank=mean_rank_women(prefs, matching),
+        men_rank_man_optimal=mean_rank_men(prefs, man_opt),
+        women_rank_man_optimal=mean_rank_women(prefs, man_opt),
+        men_rank_woman_optimal=mean_rank_men(prefs, woman_opt),
+        women_rank_woman_optimal=mean_rank_women(prefs, woman_opt),
+    )

@@ -1,0 +1,31 @@
+"""Baseline algorithms the paper compares against."""
+
+from repro.baselines.gale_shapley import (
+    GSResult,
+    gale_shapley,
+    parallel_gale_shapley,
+)
+from repro.baselines.truncated_gs import (
+    suggested_iterations,
+    truncated_gale_shapley,
+)
+from repro.baselines.random_greedy import (
+    RandomGreedyResult,
+    random_greedy_matching,
+)
+from repro.baselines.random_dynamics import (
+    DynamicsResult,
+    better_response_dynamics,
+)
+
+__all__ = [
+    "DynamicsResult",
+    "better_response_dynamics",
+    "GSResult",
+    "gale_shapley",
+    "parallel_gale_shapley",
+    "suggested_iterations",
+    "truncated_gale_shapley",
+    "RandomGreedyResult",
+    "random_greedy_matching",
+]

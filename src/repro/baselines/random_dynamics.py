@@ -1,0 +1,208 @@
+"""Decentralized better-response dynamics (Roth–Vande Vate style).
+
+Eriksson and Häggström [2] — the source of the paper's Definition 1 —
+study *decentralized* matching markets where randomly chosen blocking
+pairs marry (each divorcing their current partners).  Roth and Vande
+Vate's classical theorem says this random process reaches a stable
+matching with probability 1, but it can take many steps and each step
+is inherently sequential — exactly the gap the paper's ASM closes with
+coordinated polylog-round convergence.
+
+:func:`better_response_dynamics` simulates the process with
+*incremental* blocking-pair maintenance: satisfying ``(m, w)`` only
+changes the partners of ``m``, ``w`` and their two ex-partners, so only
+edges incident to those four players can change blocking status — each
+step costs O(Δ) instead of O(|E|).  Experiment E12 measures the
+process's steps-to-quality as a decentralized baseline against ASM's
+round counts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.matching import Matching, MutableMatching
+from repro.core.preferences import PreferenceProfile
+from repro.errors import InvalidParameterError
+
+__all__ = ["DynamicsResult", "better_response_dynamics"]
+
+
+@dataclass
+class DynamicsResult:
+    """Outcome of a better-response run.
+
+    Attributes
+    ----------
+    matching:
+        The final matching (stable iff ``converged``).
+    steps:
+        Blocking pairs satisfied before stopping.
+    converged:
+        Whether a stable matching was reached within the step budget.
+    blocking_history:
+        Number of blocking pairs before each step (and after the last),
+        recorded every ``history_stride`` steps.
+    """
+
+    matching: Matching
+    steps: int
+    converged: bool
+    blocking_history: List[int] = field(default_factory=list)
+
+
+class _PairPool:
+    """A set of pairs supporting O(1) add/discard/uniform-choice."""
+
+    __slots__ = ("_items", "_pos")
+
+    def __init__(self) -> None:
+        self._items: List[Tuple[int, int]] = []
+        self._pos: Dict[Tuple[int, int], int] = {}
+
+    def add(self, pair: Tuple[int, int]) -> None:
+        if pair in self._pos:
+            return
+        self._pos[pair] = len(self._items)
+        self._items.append(pair)
+
+    def discard(self, pair: Tuple[int, int]) -> None:
+        idx = self._pos.pop(pair, None)
+        if idx is None:
+            return
+        last = self._items.pop()
+        if idx < len(self._items):
+            self._items[idx] = last
+            self._pos[last] = idx
+
+    def choose(self, rng: random.Random) -> Tuple[int, int]:
+        return self._items[rng.randrange(len(self._items))]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class _BlockingTracker:
+    """Incrementally maintained blocking-pair set for one matching."""
+
+    def __init__(
+        self, prefs: PreferenceProfile, matching: MutableMatching
+    ) -> None:
+        self.prefs = prefs
+        self.matching = matching
+        self.pool = _PairPool()
+        for m in range(prefs.n_men):
+            self._rescan_man(m)
+
+    # -- rank helpers (paper convention: unmatched = deg + 1) ---------
+
+    def _man_cur(self, m: int) -> int:
+        w = self.matching.partner_of_man(m)
+        if w is None:
+            return self.prefs.deg_man(m) + 1
+        return self.prefs.rank_of_woman(m, w)
+
+    def _woman_cur(self, w: int) -> int:
+        m = self.matching.partner_of_woman(w)
+        if m is None:
+            return self.prefs.deg_woman(w) + 1
+        return self.prefs.rank_of_man(w, m)
+
+    # -- incremental rescans ------------------------------------------
+
+    def _rescan_man(self, m: int) -> None:
+        cur = self._man_cur(m)
+        for pos, w in enumerate(self.prefs.man_list(m)):
+            pair = (m, w)
+            if pos + 1 < cur and self.prefs.rank_of_man(
+                w, m
+            ) < self._woman_cur(w):
+                self.pool.add(pair)
+            else:
+                self.pool.discard(pair)
+
+    def _rescan_woman(self, w: int) -> None:
+        cur = self._woman_cur(w)
+        for m in self.prefs.woman_list(w):
+            pair = (m, w)
+            if self.prefs.rank_of_man(w, m) < cur and self.prefs.rank_of_woman(
+                m, w
+            ) < self._man_cur(m):
+                self.pool.add(pair)
+            else:
+                self.pool.discard(pair)
+
+    def satisfy(self, m: int, w: int) -> None:
+        """Marry blocking pair ``(m, w)`` and update the pool."""
+        w_old = self.matching.partner_of_man(m)
+        m_old = self.matching.partner_of_woman(w)
+        self.matching.unmatch_man(m)
+        self.matching.unmatch_woman(w)
+        self.matching.match(m, w)
+        # Only edges touching the four affected players can change.
+        self._rescan_man(m)
+        self._rescan_woman(w)
+        if m_old is not None:
+            self._rescan_man(m_old)
+        if w_old is not None:
+            self._rescan_woman(w_old)
+
+
+def better_response_dynamics(
+    prefs: PreferenceProfile,
+    seed: int = 0,
+    max_steps: Optional[int] = None,
+    start: Optional[Matching] = None,
+    history_stride: int = 0,
+) -> DynamicsResult:
+    """Satisfy uniformly random blocking pairs until stability.
+
+    Each step picks a blocking pair ``(m, w)`` uniformly at random and
+    marries it; ``m``'s and ``w``'s previous partners (if any) become
+    single.  By Roth–Vande Vate the process converges with probability
+    1; ``max_steps`` (default ``50·|E| + 100``) bounds runaway cases.
+
+    ``history_stride > 0`` records the blocking-pair count every that
+    many steps (plus the final count) for trajectory plots.
+
+    Examples
+    --------
+    >>> from repro.workloads.generators import complete_uniform
+    >>> from repro.analysis.stability import is_stable
+    >>> prefs = complete_uniform(8, seed=0)
+    >>> result = better_response_dynamics(prefs, seed=1)
+    >>> result.converged and is_stable(prefs, result.matching)
+    True
+    """
+    if max_steps is None:
+        max_steps = 50 * prefs.num_edges + 100
+    if max_steps < 0:
+        raise InvalidParameterError(f"max_steps must be >= 0, got {max_steps}")
+    rng = random.Random(seed)
+    current = MutableMatching(start.pairs() if start is not None else ())
+    tracker = _BlockingTracker(prefs, current)
+    history: List[int] = []
+    steps = 0
+    while True:
+        n_blocking = len(tracker.pool)
+        if history_stride and (steps % history_stride == 0 or not n_blocking):
+            history.append(n_blocking)
+        if not n_blocking:
+            return DynamicsResult(
+                matching=current.freeze(),
+                steps=steps,
+                converged=True,
+                blocking_history=history,
+            )
+        if steps >= max_steps:
+            return DynamicsResult(
+                matching=current.freeze(),
+                steps=steps,
+                converged=False,
+                blocking_history=history,
+            )
+        m, w = tracker.pool.choose(rng)
+        tracker.satisfy(m, w)
+        steps += 1

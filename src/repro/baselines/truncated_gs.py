@@ -1,0 +1,64 @@
+"""Truncated Gale–Shapley — the Floréen et al. [3] baseline.
+
+Floréen, Kaski, Polishchuk and Suomela show that for *bounded*
+preference lists (maximum degree Δ = O(1)), stopping the distributed
+Gale–Shapley algorithm after a constant number of rounds — a constant
+depending only on Δ and ε, of order Θ(Δ²/ε) — yields a matching with at
+most ``ε·|M|`` blocking pairs.
+
+This module wraps :func:`repro.baselines.gale_shapley.parallel_gale_shapley`
+with that truncation.  It is the head-to-head baseline for experiment
+E5: on bounded-degree instances it matches ASM's quality at O(1)
+rounds, while on unbounded lists its guarantee (and empirical quality
+at any fixed round budget) degrades — which is precisely the gap the
+paper's algorithms close.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines.gale_shapley import GSResult, parallel_gale_shapley
+from repro.core.preferences import PreferenceProfile
+from repro.errors import InvalidParameterError
+
+__all__ = ["suggested_iterations", "truncated_gale_shapley"]
+
+
+def suggested_iterations(max_degree: int, eps: float) -> int:
+    """A Θ(Δ²/ε)-shaped truncation budget in the spirit of [3].
+
+    The constants in Floréen et al. differ (their analysis is in a
+    slightly different model and ties blocking pairs to ``|M|`` rather
+    than ``|E|``); experiment E5 sweeps the budget, and this default
+    reproduces the qualitative behavior: constant rounds suffice for
+    bounded lists, but the required budget grows with the degree bound.
+    """
+    if max_degree < 0:
+        raise InvalidParameterError(f"max_degree must be >= 0, got {max_degree}")
+    if eps <= 0:
+        raise InvalidParameterError(f"eps must be > 0, got {eps}")
+    return max(1, math.ceil(max_degree * max_degree / eps))
+
+
+def truncated_gale_shapley(
+    prefs: PreferenceProfile, iterations: int
+) -> GSResult:
+    """Run distributed Gale–Shapley truncated after ``iterations``.
+
+    Returns the engagement matching at the cutoff; ``completed`` tells
+    whether the algorithm actually reached quiescence earlier.
+
+    Examples
+    --------
+    >>> from repro.workloads.generators import bounded_degree
+    >>> prefs = bounded_degree(32, d=4, seed=2)
+    >>> result = truncated_gale_shapley(prefs, iterations=8)
+    >>> result.iterations <= 8
+    True
+    """
+    if iterations < 0:
+        raise InvalidParameterError(
+            f"iterations must be >= 0, got {iterations}"
+        )
+    return parallel_gale_shapley(prefs, max_iterations=iterations)

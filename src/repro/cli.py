@@ -1,0 +1,391 @@
+"""Command-line interface: ``repro-asm`` / ``python -m repro``.
+
+Subcommands
+-----------
+``run``
+    Run one algorithm on one generated instance and print a stability
+    report.
+``experiment``
+    Run one experiment from DESIGN.md §3 and print its table.
+``report``
+    Run every experiment (at a chosen scale) and print all tables —
+    this regenerates the numbers recorded in EXPERIMENTS.md.
+``list``
+    List available experiments, workloads and algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.analysis.stability import stability_report
+from repro.analysis.tables import format_table
+from repro.baselines.gale_shapley import gale_shapley
+from repro.baselines.truncated_gs import truncated_gale_shapley
+from repro.core.almost_regular import almost_regular_asm
+from repro.core.asm import asm
+from repro.core.rand_asm import rand_asm
+from repro.workloads.generators import GENERATORS
+
+__all__ = ["main", "build_parser"]
+
+# Per-experiment overrides for the quick scale (the full scale uses
+# each driver's defaults, which are sized for a laptop run).
+_QUICK_OVERRIDES: Dict[str, Dict[str, Any]] = {
+    "e1": dict(n_values=(16, 32), eps_values=(0.25, 0.5), trials=2),
+    "e2": dict(n_values=(16, 32, 64), trials=1),
+    "e3": dict(n_values=(16, 32), trials=3),
+    "e4": dict(n_values=(16, 32, 64), trials=2),
+    "e5": dict(n=32, trials=2),
+    "e6": dict(n_values=(32, 64), trials=3),
+    "e7": dict(n_values=(16, 32), trials=2),
+    "e8": dict(n_values=(32,), trials=2),
+    "e9": dict(n_values=(16, 32), trials=2),
+    "e10": dict(n_values=(32, 64), trials=5),
+    "e11": dict(n_values=(16, 32, 64), trials=1),
+    "e12": dict(n_values=(12, 24), trials=2),
+    "a1": dict(n=32, k_values=(2, 4, 8), trials=2),
+    "a2": dict(n=32, trials=2),
+    "a3": dict(n_values=(6,)),
+    "a4": dict(n=24, trials=1),
+    "a5": dict(n_values=(16, 32, 64), trials=1),
+}
+
+
+def _make_workload(name: str, n: int, seed: int):
+    """Instantiate a workload by registry name with sensible defaults."""
+    if name == "gnp":
+        return GENERATORS[name](n, 0.25, seed)
+    if name == "bounded":
+        return GENERATORS[name](n, 8, seed)
+    if name == "regular":
+        return GENERATORS[name](n, 8, seed)
+    if name == "almost_regular":
+        return GENERATORS[name](n, max(1, n // 8), max(1, n // 4), seed)
+    if name == "master_list":
+        return GENERATORS[name](n, 0.1, seed)
+    if name == "zipf":
+        return GENERATORS[name](n, 1.0, seed)
+    if name == "clustered":
+        return GENERATORS[name](n, seed=seed)
+    if name == "adversarial_gs":
+        return GENERATORS[name](n)
+    return GENERATORS[name](n, seed)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.io import save_profile
+
+    prefs = _make_workload(args.workload, args.n, args.seed)
+    save_profile(
+        prefs,
+        args.out,
+        metadata={
+            "workload": args.workload,
+            "n": args.n,
+            "seed": args.seed,
+        },
+    )
+    print(
+        f"wrote {args.workload} instance (n_men={prefs.n_men}, "
+        f"|E|={prefs.num_edges}) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    if args.input:
+        from repro.io import load_profile
+
+        prefs = load_profile(args.input)
+        args.workload = f"file:{args.input}"
+        args.n = prefs.n_men
+    else:
+        prefs = _make_workload(args.workload, args.n, args.seed)
+    t0 = time.time()
+    rows: List[Dict[str, Any]] = []
+    if args.algorithm == "asm":
+        result = asm(prefs, args.eps)
+    elif args.algorithm == "rand-asm":
+        result = rand_asm(prefs, args.eps, seed=args.seed)
+    elif args.algorithm == "almost-regular-asm":
+        result = almost_regular_asm(prefs, args.eps, seed=args.seed)
+    elif args.algorithm == "gale-shapley":
+        gs = gale_shapley(prefs)
+        rep = stability_report(prefs, gs.matching)
+        rows.append(
+            {
+                "algorithm": "gale-shapley",
+                "matching_size": rep.matching_size,
+                "blocking_pairs": rep.blocking_pairs,
+                "instability": rep.instability,
+                "proposals": gs.proposals,
+                "seconds": time.time() - t0,
+            }
+        )
+        print(format_table(rows, title=f"{args.workload} n={args.n}"))
+        return 0
+    elif args.algorithm == "truncated-gs":
+        gs = truncated_gale_shapley(prefs, args.gs_iterations)
+        rep = stability_report(prefs, gs.matching)
+        rows.append(
+            {
+                "algorithm": f"truncated-gs@{args.gs_iterations}",
+                "matching_size": rep.matching_size,
+                "blocking_pairs": rep.blocking_pairs,
+                "instability": rep.instability,
+                "rounds": gs.rounds,
+                "seconds": time.time() - t0,
+            }
+        )
+        print(format_table(rows, title=f"{args.workload} n={args.n}"))
+        return 0
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.algorithm)
+    if args.json:
+        payload = result.to_dict()
+        payload["instability"] = stability_report(
+            prefs, result.matching
+        ).instability
+        print(json.dumps(payload, indent=2))
+        return 0
+    rep = stability_report(prefs, result.matching, eps=2.0 / result.k)
+    rows.append(
+        {
+            "algorithm": args.algorithm,
+            "eps": args.eps,
+            "matching_size": rep.matching_size,
+            "blocking_pairs": rep.blocking_pairs,
+            "instability": rep.instability,
+            "eps_bound_ok": rep.instability <= args.eps,
+            "good_men": len(result.good_men),
+            "bad_men": len(result.bad_men),
+            "rounds_active": result.rounds_active,
+            "rounds_scheduled": result.rounds_scheduled,
+            "seconds": time.time() - t0,
+        }
+    )
+    print(
+        format_table(
+            rows, title=f"{args.workload} n={args.n} |E|={prefs.num_edges}"
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    kwargs = _QUICK_OVERRIDES.get(args.name.lower(), {}) if args.quick else {}
+    if args.seed is not None:
+        kwargs = dict(kwargs, seed=args.seed)
+    result = run_experiment(args.name, **kwargs)
+    print(result.table())
+    return 0 if result.passed else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    all_passed = True
+    for name in ALL_EXPERIMENTS:
+        kwargs = _QUICK_OVERRIDES.get(name, {}) if args.quick else {}
+        t0 = time.time()
+        result = run_experiment(name, **kwargs)
+        if args.markdown:
+            print(result.to_markdown())
+            print()
+        else:
+            print(result.table())
+            print(f"elapsed: {time.time() - t0:.1f}s")
+            print()
+        all_passed = all_passed and result.passed
+    if args.markdown:
+        print(f"**Overall: {'PASS' if all_passed else 'FAIL'}**")
+    else:
+        print("overall:", "PASS" if all_passed else "FAIL")
+    return 0 if all_passed else 1
+
+
+def _cmd_congest(args: argparse.Namespace) -> int:
+    """Run a message-level protocol and print simulation statistics."""
+    from repro.congest.protocols import (
+        run_congest_almost_regular_asm,
+        run_congest_asm,
+        run_congest_gale_shapley,
+        run_congest_rand_asm,
+    )
+
+    prefs = _make_workload(args.workload, args.n, args.seed)
+    t0 = time.time()
+    if args.protocol == "gale-shapley":
+        matching, sim = run_congest_gale_shapley(prefs)
+        stats = sim.stats
+    else:
+        overrides = dict(
+            inner_iterations=args.inner,
+            outer_iterations=args.outer,
+            mm_iterations=args.mm_iterations,
+        )
+        if args.protocol == "asm":
+            result = run_congest_asm(prefs, args.eps, seed=args.seed,
+                                     **overrides)
+        elif args.protocol == "rand-asm":
+            result = run_congest_rand_asm(prefs, args.eps, seed=args.seed,
+                                          **overrides)
+        else:  # almost-regular-asm
+            result = run_congest_almost_regular_asm(
+                prefs,
+                args.eps,
+                seed=args.seed,
+                quantile_match_iterations=args.inner,
+                mm_iterations=args.mm_iterations,
+            )
+        matching, stats = result.matching, result.stats
+    rep = stability_report(prefs, matching)
+    print(
+        format_table(
+            [
+                {
+                    "protocol": args.protocol,
+                    "matching_size": rep.matching_size,
+                    "instability": rep.instability,
+                    "rounds": stats.rounds,
+                    "messages": stats.messages,
+                    "total_bits": stats.total_bits,
+                    "max_msg_bits": stats.max_message_bits,
+                    "seconds": time.time() - t0,
+                }
+            ],
+            title=f"CONGEST {args.protocol} on {args.workload} n={args.n}",
+        )
+    )
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:", ", ".join(sorted(ALL_EXPERIMENTS)))
+    print("workloads:  ", ", ".join(sorted(GENERATORS)))
+    print(
+        "algorithms: asm, rand-asm, almost-regular-asm, gale-shapley, "
+        "truncated-gs"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-asm`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-asm",
+        description=(
+            "Reproduction of 'Fast Distributed Almost Stable Matchings' "
+            "(Ostrovsky & Rosenbaum, PODC 2015)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one algorithm on one instance")
+    run_p.add_argument(
+        "--algorithm",
+        choices=[
+            "asm",
+            "rand-asm",
+            "almost-regular-asm",
+            "gale-shapley",
+            "truncated-gs",
+        ],
+        default="asm",
+    )
+    run_p.add_argument("--workload", choices=sorted(GENERATORS), default="complete")
+    run_p.add_argument("--n", type=int, default=128)
+    run_p.add_argument("--eps", type=float, default=0.2)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--gs-iterations",
+        type=int,
+        default=16,
+        help="truncation budget for truncated-gs",
+    )
+    run_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON result summary (ASM variants only)",
+    )
+    run_p.add_argument(
+        "--input",
+        default=None,
+        help="load the instance from a file written by `generate` "
+        "(overrides --workload/--n/--seed)",
+    )
+    run_p.set_defaults(func=_cmd_run)
+
+    gen_p = sub.add_parser(
+        "generate", help="write a generated instance to a JSON file"
+    )
+    gen_p.add_argument("--workload", choices=sorted(GENERATORS),
+                       default="complete")
+    gen_p.add_argument("--n", type=int, default=128)
+    gen_p.add_argument("--seed", type=int, default=0)
+    gen_p.add_argument("--out", required=True, help="output path")
+    gen_p.set_defaults(func=_cmd_generate)
+
+    exp_p = sub.add_parser("experiment", help="run one DESIGN.md experiment")
+    exp_p.add_argument("name", help="experiment id, e.g. e1 or a3")
+    exp_p.add_argument("--quick", action="store_true", help="small-scale run")
+    exp_p.add_argument("--seed", type=int, default=None)
+    exp_p.set_defaults(func=_cmd_experiment)
+
+    rep_p = sub.add_parser("report", help="run every experiment")
+    rep_p.add_argument("--quick", action="store_true", help="small-scale run")
+    rep_p.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit markdown sections (for EXPERIMENTS.md)",
+    )
+    rep_p.set_defaults(func=_cmd_report)
+
+    con_p = sub.add_parser(
+        "congest", help="run a message-level protocol on the simulator"
+    )
+    con_p.add_argument(
+        "--protocol",
+        choices=["asm", "rand-asm", "almost-regular-asm", "gale-shapley"],
+        default="asm",
+    )
+    con_p.add_argument("--workload", choices=sorted(GENERATORS),
+                       default="complete")
+    con_p.add_argument("--n", type=int, default=8)
+    con_p.add_argument("--eps", type=float, default=0.5)
+    con_p.add_argument("--seed", type=int, default=0)
+    con_p.add_argument("--inner", type=int, default=6,
+                       help="inner-loop / flat iterations override")
+    con_p.add_argument("--outer", type=int, default=4,
+                       help="outer-loop iterations override")
+    con_p.add_argument("--mm-iterations", type=int, default=16,
+                       help="matching-phase iteration budget")
+    con_p.set_defaults(func=_cmd_congest)
+
+    list_p = sub.add_parser("list", help="list experiments and workloads")
+    list_p.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-asm`` and ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (e.g.
+        # `repro-asm ... | head`); exit quietly like standard Unix tools.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""CONGEST messages and their bit-size accounting.
+
+The CONGEST model allows ``O(log n)``-bit messages.  Our protocols only
+ever send a short tag plus at most a couple of player ids, so each
+message costs ``TAG_BITS + payload·(⌈log₂ n⌉ + 1)`` bits; the simulator
+enforces a configurable cap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["TAG_BITS", "Message"]
+
+# A small fixed tag space suffices for all protocol message kinds.
+TAG_BITS = 8
+
+
+@dataclass(frozen=True)
+class Message:
+    """One CONGEST message: a kind tag plus a tuple of integer fields.
+
+    Examples
+    --------
+    >>> Message("PROPOSE").size_bits(1024)
+    8
+    >>> Message("POINT", (17,)).size_bits(1024)
+    19
+    """
+
+    kind: str
+    payload: Tuple[int, ...] = ()
+
+    def size_bits(self, n: int) -> int:
+        """Encoded size for a system with id space ``{0, …, n−1}``."""
+        id_bits = max(1, math.ceil(math.log2(max(2, n)))) + 1
+        return TAG_BITS + id_bits * len(self.payload)

@@ -1,0 +1,41 @@
+"""Message-level CONGEST implementations of the paper's protocols.
+
+Each protocol here is written as true per-node generator programs over
+:class:`repro.congest.simulator.Simulator` — nodes see only their own
+preferences and the messages they receive.  The module-level drivers
+build the communication graph, spawn one program per player, run the
+simulation, and assemble the global result, which the test suite
+cross-validates against the logical engines.
+"""
+
+from repro.congest.protocols.fragments import (
+    israeli_itai_fragment,
+    pointer_matching_fragment,
+    port_order_fragment,
+)
+from repro.congest.protocols.mm_protocols import (
+    run_congest_deterministic_mm,
+    run_congest_israeli_itai_mm,
+    run_congest_port_order_mm,
+)
+from repro.congest.protocols.gs_protocol import run_congest_gale_shapley
+from repro.congest.protocols.asm_protocol import (
+    CongestASMResult,
+    run_congest_almost_regular_asm,
+    run_congest_asm,
+    run_congest_rand_asm,
+)
+
+__all__ = [
+    "israeli_itai_fragment",
+    "pointer_matching_fragment",
+    "port_order_fragment",
+    "run_congest_deterministic_mm",
+    "run_congest_israeli_itai_mm",
+    "run_congest_port_order_mm",
+    "run_congest_gale_shapley",
+    "CongestASMResult",
+    "run_congest_almost_regular_asm",
+    "run_congest_asm",
+    "run_congest_rand_asm",
+]

@@ -1,0 +1,149 @@
+"""Message-level recording for CONGEST simulations.
+
+A :class:`MessageRecorder` attached to a :class:`~repro.congest.
+simulator.Simulator` captures every delivered message (round, sender,
+recipient, kind, payload) into a bounded buffer, with per-kind
+aggregate counts that are never truncated.  Renders message-sequence
+tables for debugging protocols.
+
+Example
+-------
+>>> from repro.congest.recorder import MessageRecorder
+>>> rec = MessageRecorder()
+>>> # Simulator(graph, programs, recorder=rec); sim.run()
+>>> # print(rec.sequence_table())
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.tables import format_table
+from repro.congest.message import Message
+from repro.graphs import NodeId
+
+__all__ = ["MessageEvent", "MessageRecorder"]
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One delivered message."""
+
+    round: int
+    sender: NodeId
+    recipient: NodeId
+    kind: str
+    payload: Tuple[int, ...]
+
+
+class MessageRecorder:
+    """Bounded message log with per-kind aggregates.
+
+    Parameters
+    ----------
+    max_events:
+        Keep at most this many most-recent events (aggregate counters
+        keep counting past the cap).  ``None`` = unbounded.
+    kinds:
+        Optional whitelist of message kinds to record as events
+        (aggregates still count everything).
+    """
+
+    def __init__(
+        self,
+        max_events: Optional[int] = 10_000,
+        kinds: Optional[List[str]] = None,
+    ) -> None:
+        self.max_events = max_events
+        self._kind_filter = set(kinds) if kinds is not None else None
+        self.events: List[MessageEvent] = []
+        self.counts_by_kind: Counter = Counter()
+        self.counts_by_round: Counter = Counter()
+        self.dropped_events = 0
+
+    # ------------------------------------------------------------------
+    # Simulator hook
+    # ------------------------------------------------------------------
+
+    def on_message(
+        self, round_index: int, sender: NodeId, recipient: NodeId,
+        message: Message,
+    ) -> None:
+        """Called by the simulator for every delivered message."""
+        self.counts_by_kind[message.kind] += 1
+        self.counts_by_round[round_index] += 1
+        if (
+            self._kind_filter is not None
+            and message.kind not in self._kind_filter
+        ):
+            return
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.events.pop(0)
+            self.dropped_events += 1
+        self.events.append(
+            MessageEvent(
+                round=round_index,
+                sender=sender,
+                recipient=recipient,
+                kind=message.kind,
+                payload=message.payload,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Queries and rendering
+    # ------------------------------------------------------------------
+
+    @property
+    def total_messages(self) -> int:
+        """All messages observed (aggregates ignore caps/filters)."""
+        return sum(self.counts_by_kind.values())
+
+    def events_for(
+        self, node: NodeId, role: str = "any"
+    ) -> List[MessageEvent]:
+        """Recorded events where ``node`` is the sender/recipient/any."""
+        if role not in ("sender", "recipient", "any"):
+            raise ValueError(f"role must be sender|recipient|any, got {role!r}")
+        out = []
+        for e in self.events:
+            if role in ("sender", "any") and e.sender == node:
+                out.append(e)
+            elif role in ("recipient", "any") and e.recipient == node:
+                out.append(e)
+        return out
+
+    def busiest_round(self) -> Optional[int]:
+        """The round index carrying the most messages (None if silent)."""
+        if not self.counts_by_round:
+            return None
+        return max(self.counts_by_round, key=lambda r: (self.counts_by_round[r], -r))
+
+    def summary_rows(self) -> List[Dict[str, Any]]:
+        """Per-kind aggregate rows for a summary table."""
+        return [
+            {"kind": kind, "messages": count}
+            for kind, count in sorted(self.counts_by_kind.items())
+        ]
+
+    def sequence_table(self, limit: int = 40) -> str:
+        """The first ``limit`` recorded events as a message-sequence table."""
+        rows = [
+            {
+                "round": e.round,
+                "from": repr(e.sender),
+                "to": repr(e.recipient),
+                "kind": e.kind,
+                "payload": repr(e.payload) if e.payload else "",
+            }
+            for e in self.events[:limit]
+        ]
+        suffix = ""
+        remaining = len(self.events) - limit
+        if remaining > 0:
+            suffix = f"\n... {remaining} more recorded events"
+        if self.dropped_events:
+            suffix += f" ({self.dropped_events} older events dropped)"
+        return format_table(rows, title="message sequence") + suffix

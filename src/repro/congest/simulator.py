@@ -1,0 +1,187 @@
+"""The synchronous CONGEST round simulator.
+
+Drives a set of node *programs* — generators whose every
+``inbox = yield outbox`` statement is one synchronous communication
+round.  The simulator:
+
+* advances all programs in lockstep,
+* validates that every message targets a neighbor and respects the
+  configured bit cap (:class:`~repro.errors.ProtocolViolationError`
+  otherwise),
+* delivers each round's messages as ``{sender: Message}`` dicts,
+* collects per-run statistics (rounds, messages, bits), and
+* captures each program's return value as the node's local output.
+
+Round semantics: the outbox a program yields in round ``t`` is
+delivered at the *same* yield's return — i.e. ``inbox = yield outbox``
+sends ``outbox`` and then receives everything the neighbors sent in
+that round.  A program that needs to "think" without sending yields an
+empty dict.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Mapping, Optional
+
+from repro.congest.message import Message
+from repro.errors import ProtocolViolationError, SimulationError
+from repro.graphs import Graph, NodeId
+
+__all__ = ["NodeProgram", "SimulationStats", "Simulator"]
+
+# A node program yields {neighbor: Message} and receives {sender: Message}.
+NodeProgram = Generator[Dict[NodeId, Message], Dict[NodeId, Message], Any]
+
+
+@dataclass
+class SimulationStats:
+    """Aggregate statistics of one simulation run."""
+
+    rounds: int = 0
+    messages: int = 0
+    total_bits: int = 0
+    max_message_bits: int = 0
+    messages_per_round: list = field(default_factory=list)
+
+
+class Simulator:
+    """Runs node programs over a communication graph in lockstep.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph; every program's node id must be a node.
+    programs:
+        ``{node_id: generator}`` — one program per node.  Nodes of the
+        graph without a program are passive (never send; messages to
+        them are silently delivered nowhere) — by default every node
+        must have a program.
+    max_message_bits:
+        Per-message bit cap (default ``8·(⌈log₂ n⌉ + 1) + TAG_BITS``-ish
+        via ``bit_cap_factor``); violations raise
+        :class:`ProtocolViolationError`.
+    bit_cap_factor:
+        The ``O(·)`` constant of the ``O(log n)`` cap: messages may use
+        at most ``bit_cap_factor · (⌈log₂ n⌉ + 1)`` bits.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        programs: Mapping[NodeId, NodeProgram],
+        *,
+        bit_cap_factor: int = 8,
+        recorder: Optional[Any] = None,
+    ) -> None:
+        self.graph = graph
+        for v in programs:
+            if not graph.has_node(v):
+                raise SimulationError(f"program for unknown node {v!r}")
+        missing = [v for v in graph.nodes() if v not in programs]
+        if missing:
+            raise SimulationError(
+                f"{len(missing)} node(s) have no program, e.g. {missing[0]!r}"
+            )
+        self.programs: Dict[NodeId, NodeProgram] = dict(programs)
+        self.n = graph.num_nodes
+        log_n = max(1, math.ceil(math.log2(max(2, self.n)))) + 1
+        self.max_message_bits = bit_cap_factor * log_n
+        self.stats = SimulationStats()
+        self.results: Dict[NodeId, Any] = {}
+        self._inboxes: Dict[NodeId, Dict[NodeId, Message]] = {
+            v: {} for v in self.programs
+        }
+        self._started_map: Dict[NodeId, bool] = {}
+        # Optional message recorder (see repro.congest.recorder): any
+        # object with on_message(round, sender, recipient, message).
+        self.recorder = recorder
+
+    @property
+    def finished(self) -> bool:
+        """Whether every program has returned."""
+        return len(self.results) == len(self.programs)
+
+    def _advance(self, v: NodeId) -> Optional[Dict[NodeId, Message]]:
+        """Advance one program a single round; capture its return value."""
+        gen = self.programs[v]
+        try:
+            if not self._started_map.get(v, False):
+                self._started_map[v] = True
+                return next(gen)
+            return gen.send(self._inboxes[v])
+        except StopIteration as stop:
+            self.results[v] = stop.value
+            return None
+
+    def step(self) -> bool:
+        """Execute one synchronous round; returns False once all done."""
+        live = [v for v in self.programs if v not in self.results]
+        if not live:
+            return False
+        outboxes: Dict[NodeId, Dict[NodeId, Message]] = {}
+        for v in sorted(live, key=repr):
+            out = self._advance(v)
+            if out is not None:
+                outboxes[v] = out
+        # Validate and deliver.
+        new_inboxes: Dict[NodeId, Dict[NodeId, Message]] = {
+            v: {} for v in self.programs
+        }
+        round_messages = 0
+        for sender, outbox in outboxes.items():
+            for recipient, msg in outbox.items():
+                if not isinstance(msg, Message):
+                    raise ProtocolViolationError(
+                        f"node {sender!r} sent a non-Message object "
+                        f"({type(msg).__name__}) to {recipient!r}"
+                    )
+                if not self.graph.has_edge(sender, recipient):
+                    raise ProtocolViolationError(
+                        f"node {sender!r} sent a message to non-neighbor "
+                        f"{recipient!r}"
+                    )
+                bits = msg.size_bits(self.n)
+                if bits > self.max_message_bits:
+                    raise ProtocolViolationError(
+                        f"message {msg.kind!r} from {sender!r} uses {bits} "
+                        f"bits; cap is {self.max_message_bits} (O(log n))"
+                    )
+                if recipient in new_inboxes:
+                    new_inboxes[recipient][sender] = msg
+                if self.recorder is not None:
+                    # 1-based round index of the round being executed.
+                    self.recorder.on_message(
+                        self.stats.rounds + 1, sender, recipient, msg
+                    )
+                round_messages += 1
+                self.stats.messages += 1
+                self.stats.total_bits += bits
+                self.stats.max_message_bits = max(
+                    self.stats.max_message_bits, bits
+                )
+        self._inboxes = new_inboxes
+        self.stats.rounds += 1
+        self.stats.messages_per_round.append(round_messages)
+        return not self.finished
+
+    def run(self, max_rounds: Optional[int] = None) -> SimulationStats:
+        """Run rounds until every program returns.
+
+        Raises
+        ------
+        SimulationError
+            If ``max_rounds`` elapses with programs still running.
+        """
+        while self.step():
+            if max_rounds is not None and self.stats.rounds >= max_rounds:
+                unfinished = [
+                    v for v in self.programs if v not in self.results
+                ]
+                if unfinished:
+                    raise SimulationError(
+                        f"{len(unfinished)} program(s) still running after "
+                        f"{max_rounds} rounds, e.g. {unfinished[0]!r}"
+                    )
+        return self.stats

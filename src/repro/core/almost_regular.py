@@ -1,0 +1,138 @@
+"""``AlmostRegularASM`` — the constant-round variant (Theorem 6).
+
+For *α-almost-regular* men's preferences
+(``max_m deg(m) ≤ α · min_m deg(m)`` — e.g. complete preferences with
+α = 1), two simplifications make ASM's round complexity independent of
+``n``:
+
+1. **No degree-threshold outer loop.**  Bounding the *number* of bad
+   men suffices: by Lemma 6, ``O(αε⁻²)`` QuantileMatch iterations leave
+   at most an ``ε/4α``-fraction of men bad, and by almost-regularity an
+   ``ε/2α``-fraction of (bad or removed) men touches at most
+   ``(ε/2α)·n·α·min_deg ≤ (ε/2)·|E|`` edges.
+2. **Almost-maximal matchings.**  Step 3 calls ``AMM(η, δ′)``
+   (Corollary 2, ``O(log(1/ηδ′))`` rounds, independent of ``n``)
+   instead of an exact maximal matching.  Players violating
+   Definition 3 in the accepted-proposal graph are *removed from play*
+   immediately; the budgets ``η, δ′`` are set so that with probability
+   ``≥ 1 − δ`` the removed men total at most an ``ε/4α``-fraction.
+
+Total: ``O(αε⁻³ · log(α/δε))`` rounds — a constant for fixed
+``α, ε, δ``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.asm import ASMEngine, ASMObserver, ASMResult, params_for_eps
+from repro.core.preferences import PreferenceProfile
+from repro.core.rounds import FixedCost
+from repro.errors import InvalidParameterError
+from repro.mm.israeli_itai import ROUNDS_PER_MATCHING_ROUND, rounds_for_amm
+from repro.mm.oracles import amm_oracle
+
+__all__ = ["AlmostRegularPlan", "plan_almost_regular", "almost_regular_asm"]
+
+
+@dataclass(frozen=True)
+class AlmostRegularPlan:
+    """Derived parameters of one AlmostRegularASM configuration."""
+
+    alpha: float
+    k: int
+    delta_bad: float
+    quantile_match_iterations: int
+    amm_calls_budget: int
+    eta: float
+    delta_prime: float
+    amm_iterations_per_call: int
+    rounds_per_call: int
+
+
+def plan_almost_regular(
+    prefs: PreferenceProfile,
+    eps: float,
+    failure_prob: float,
+    alpha: Optional[float] = None,
+) -> AlmostRegularPlan:
+    """Derive AlmostRegularASM's parameters.
+
+    ``alpha`` defaults to the instance's measured regularity
+    (:meth:`~repro.core.preferences.PreferenceProfile.regularity_alpha`).
+    """
+    if not 0 < failure_prob < 1:
+        raise InvalidParameterError(
+            f"failure_prob must be in (0, 1), got {failure_prob}"
+        )
+    alpha = prefs.regularity_alpha() if alpha is None else alpha
+    if alpha < 1:
+        raise InvalidParameterError(f"alpha must be >= 1, got {alpha}")
+    k, _ = params_for_eps(eps)
+    # Target: at most an ε/4α fraction of men end bad (Lemma 6 with
+    # δ = ε/4α needs ℓ = 2δ⁻¹k iterations) ...
+    delta_bad = eps / (4.0 * alpha)
+    iterations = math.ceil(2.0 * k / delta_bad)
+    # ... and at most an ε/4α fraction of men get removed by AMM
+    # truncation across all calls.
+    amm_calls = iterations * k
+    n_players = max(2, prefs.n_players)
+    # Each call may leave up to η·|V(G0)| ≤ η·n_players violators, so
+    # η = (ε/4α)·n_men / (n_players·amm_calls) caps the total.
+    n_men = max(1, prefs.n_men)
+    eta = max(
+        1e-12, min(0.5, delta_bad * n_men / (n_players * amm_calls))
+    )
+    delta_prime = min(0.5, failure_prob / amm_calls)
+    amm_iters = rounds_for_amm(eta, delta_prime)
+    return AlmostRegularPlan(
+        alpha=alpha,
+        k=k,
+        delta_bad=delta_bad,
+        quantile_match_iterations=iterations,
+        amm_calls_budget=amm_calls,
+        eta=eta,
+        delta_prime=delta_prime,
+        amm_iterations_per_call=amm_iters,
+        rounds_per_call=amm_iters * ROUNDS_PER_MATCHING_ROUND,
+    )
+
+
+def almost_regular_asm(
+    prefs: PreferenceProfile,
+    eps: float,
+    failure_prob: float = 0.1,
+    alpha: Optional[float] = None,
+    seed: int = 0,
+    *,
+    observer: Optional[ASMObserver] = None,
+) -> ASMResult:
+    """Run ``AlmostRegularASM(P, ε, δ, α)`` (Theorem 6).
+
+    For α-almost-regular preferences, outputs a (1−ε)-stable matching
+    with probability at least ``1 − failure_prob`` in a number of
+    rounds independent of ``n`` (``O(αε⁻³ log(α/δε))``).
+
+    Examples
+    --------
+    >>> from repro.workloads.generators import complete_uniform
+    >>> from repro.analysis.stability import instability
+    >>> prefs = complete_uniform(16, seed=5)   # complete => alpha = 1
+    >>> result = almost_regular_asm(prefs, eps=0.3, seed=11)
+    >>> instability(prefs, result.matching) <= 0.3
+    True
+    """
+    plan = plan_almost_regular(prefs, eps, failure_prob, alpha)
+    engine = ASMEngine(
+        prefs,
+        eps,
+        k=plan.k,
+        delta=plan.delta_bad,
+        mm_oracle=amm_oracle(plan.eta, plan.delta_prime, seed=seed),
+        mm_cost_model=FixedCost(plan.rounds_per_call),
+        remove_unmatched_violators=True,
+        observer=observer,
+    )
+    return engine.run_flat(plan.quantile_match_iterations)

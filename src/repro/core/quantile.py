@@ -1,0 +1,211 @@
+"""Preference quantization (Section 3.1 of the paper).
+
+Each player divides their preference list into ``k`` *quantiles* of
+(nearly) equal size: ``Q_1`` holds the ``deg(v)/k`` most favored
+partners, ``Q_2`` the next ``deg(v)/k``, and so on.
+
+The paper writes ``q(u) = ⌈P(u)/k⌉``, which is a typo: it is
+inconsistent with the sentence that follows ("Q_1 is the set of v's
+``deg(v)/k`` favorite partners") and with the use of ``k`` as *the
+number of quantiles* throughout the analysis (e.g. Lemma 3 divides a
+list into ``k`` quantiles).  We implement the intended definition
+
+    ``q(u) = ⌈ P(u) · k / deg(v) ⌉  ∈ {1, …, k}``,
+
+which yields exactly ``k`` quantiles of size at most ``⌈deg(v)/k⌉``.
+When ``deg(v) < k`` some quantiles are empty and each holds at most one
+partner — the algorithm then degenerates to classical Gale–Shapley
+behavior for that player, as noted after Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["quantile_index", "QuantizedList"]
+
+
+def quantile_index(rank: int, degree: int, k: int) -> int:
+    """The quantile ``q ∈ {1, …, k}`` of the partner with 1-based ``rank``.
+
+    Parameters
+    ----------
+    rank:
+        1-based position on the preference list (``P_v(u)``).
+    degree:
+        Length of the preference list (``deg(v)``).
+    k:
+        Number of quantiles.
+
+    Examples
+    --------
+    >>> [quantile_index(r, 10, 5) for r in range(1, 11)]
+    [1, 1, 2, 2, 3, 3, 4, 4, 5, 5]
+    >>> quantile_index(1, 3, 8)
+    3
+    """
+    if k < 1:
+        raise InvalidParameterError(f"quantile count k must be >= 1, got {k}")
+    if not 1 <= rank <= degree:
+        raise InvalidParameterError(
+            f"rank must be in [1, degree]; got rank={rank}, degree={degree}"
+        )
+    # ceil(rank * k / degree) without floating point.
+    return -(-rank * k // degree)
+
+
+class QuantizedList:
+    """A player's quantized preference list with removal support.
+
+    Implements the per-player state of Section 3.1: the quantile sets
+    ``Q_1, …, Q_k`` and their union ``Q``.  Elements can be removed (on
+    rejection) but never added, matching the paper's invariant.
+
+    Parameters
+    ----------
+    ordered_partners:
+        The player's preference list, most preferred first.
+    k:
+        Number of quantiles.
+
+    Examples
+    --------
+    >>> ql = QuantizedList([10, 11, 12, 13], k=2)
+    >>> ql.quantile_of(10), ql.quantile_of(13)
+    (1, 2)
+    >>> ql.best_nonempty_quantile()
+    1
+    >>> ql.remove(10); ql.remove(11)
+    >>> ql.best_nonempty_quantile()
+    2
+    """
+
+    __slots__ = ("_k", "_degree", "_quantile_of", "_members", "_remaining")
+
+    def __init__(self, ordered_partners: Sequence[int], k: int) -> None:
+        if k < 1:
+            raise InvalidParameterError(f"quantile count k must be >= 1, got {k}")
+        self._k = k
+        self._degree = len(ordered_partners)
+        self._quantile_of: Dict[int, int] = {}
+        self._members: List[Set[int]] = [set() for _ in range(k + 1)]  # 1-based
+        degree = self._degree
+        for pos, u in enumerate(ordered_partners):
+            # Inline quantile_index (hot path: called |E| times per run).
+            q = -(-(pos + 1) * k // degree) if degree else 1
+            if u in self._quantile_of:
+                raise InvalidParameterError(
+                    f"duplicate partner {u} in preference list"
+                )
+            self._quantile_of[u] = q
+            self._members[q].add(u)
+        self._remaining = self._degree
+
+    @property
+    def k(self) -> int:
+        """The number of quantiles."""
+        return self._k
+
+    @property
+    def degree(self) -> int:
+        """The original list length ``deg(v)`` (removals do not change it)."""
+        return self._degree
+
+    @property
+    def remaining(self) -> int:
+        """``|Q|`` — how many partners have not been removed."""
+        return self._remaining
+
+    def quantile_of(self, u: int) -> int:
+        """The quantile index of partner ``u`` (raises ``KeyError`` if absent).
+
+        The quantile of a partner is fixed at construction; it is
+        queryable even after ``u`` has been removed from ``Q``.
+        """
+        return self._quantile_of[u]
+
+    def contains(self, u: int) -> bool:
+        """Whether ``u`` is still in ``Q`` (not yet removed)."""
+        q = self._quantile_of.get(u)
+        return q is not None and u in self._members[q]
+
+    def members_of(self, q: int) -> FrozenSet[int]:
+        """The current (post-removal) members of quantile ``Q_q``."""
+        if not 1 <= q <= self._k:
+            raise InvalidParameterError(f"quantile index {q} not in [1, {self._k}]")
+        return frozenset(self._members[q])
+
+    def best_nonempty_quantile(self) -> Optional[int]:
+        """``min {i | Q_i ≠ ∅}`` or ``None`` when ``Q`` is empty."""
+        for q in range(1, self._k + 1):
+            if self._members[q]:
+                return q
+        return None
+
+    def best_nonempty_among(self, candidates: Iterable[int]) -> Optional[int]:
+        """The best (smallest) quantile index containing any of ``candidates``.
+
+        Only candidates still present in ``Q`` count.  Used by women in
+        Step 2 of ``ProposalRound`` to find their best proposing
+        quantile.
+        """
+        best: Optional[int] = None
+        for u in candidates:
+            q = self._quantile_of.get(u)
+            if q is None or u not in self._members[q]:
+                continue
+            if best is None or q < best:
+                best = q
+        return best
+
+    def members_up_to(self, q: int) -> FrozenSet[int]:
+        """All current members in quantiles ``Q_1, …, Q_q`` (inclusive).
+
+        Used by women in Step 4 of ``ProposalRound`` to reject every man
+        in a lesser-or-equal quantile to their new partner.
+        """
+        out: Set[int] = set()
+        for i in range(1, min(q, self._k) + 1):
+            out |= self._members[i]
+        return frozenset(out)
+
+    def members_at_least(self, q: int) -> FrozenSet[int]:
+        """All current members in quantiles ``Q_q, …, Q_k`` (inclusive).
+
+        "At least q" means *at most as preferred* — larger quantile
+        indices are worse.  Step 4 of ``ProposalRound`` has a newly
+        matched woman reject exactly ``members_at_least(q(p₀)) − {p₀}``:
+        every remaining man in a lesser-or-equal (desirability) quantile
+        to her new partner.
+        """
+        out: Set[int] = set()
+        for i in range(max(q, 1), self._k + 1):
+            out |= self._members[i]
+        return frozenset(out)
+
+    def remove(self, u: int) -> None:
+        """Remove ``u`` from ``Q`` (no-op if already removed or unknown)."""
+        q = self._quantile_of.get(u)
+        if q is None:
+            return
+        if u in self._members[q]:
+            self._members[q].discard(u)
+            self._remaining -= 1
+
+    def all_members(self) -> FrozenSet[int]:
+        """The current contents of ``Q`` (union of all quantiles)."""
+        out: Set[int] = set()
+        for q in range(1, self._k + 1):
+            out |= self._members[q]
+        return frozenset(out)
+
+    def __len__(self) -> int:
+        return self._remaining
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantizedList(k={self._k}, degree={self._degree}, "
+            f"remaining={self._remaining})"
+        )

@@ -1,0 +1,125 @@
+"""``RandASM`` — the randomized variant of ASM (Theorem 5).
+
+RandASM is exactly ASM with the deterministic maximal-matching oracle
+replaced by a *truncated* Israeli–Itai subroutine: each oracle call
+iterates ``MatchingRound`` ``O(log(n/δε³))`` times, which by
+Corollary 1 is maximal with probability ``1 − O(δε³/log n)``.  A union
+bound over the ``O(ε⁻³ log n)`` oracle calls makes *every* call maximal
+with probability at least ``1 − δ``, after which the analysis of ASM
+applies verbatim — so RandASM outputs a (1−ε)-stable matching with
+probability at least ``1 − δ`` in ``O(ε⁻³ log²(n/δε³))`` rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.asm import ASMEngine, ASMObserver, ASMResult, params_for_eps
+from repro.core.preferences import PreferenceProfile
+from repro.core.rounds import FixedCost
+from repro.errors import InvalidParameterError
+from repro.mm.israeli_itai import (
+    ROUNDS_PER_MATCHING_ROUND,
+    rounds_for_maximality,
+)
+from repro.mm.oracles import truncated_israeli_itai_oracle
+
+__all__ = ["RandASMPlan", "plan_rand_asm", "rand_asm"]
+
+
+@dataclass(frozen=True)
+class RandASMPlan:
+    """The derived parameters of one RandASM configuration.
+
+    Attributes
+    ----------
+    k, delta_quantile:
+        ASM's parameters ``k = ⌈8/ε⌉`` and ``δ = ε/8`` (the paper
+        overloads δ; this is Algorithm 3's inner-loop δ).
+    mm_calls_budget:
+        Upper bound on the number of maximal-matching oracle calls:
+        the full schedule of ProposalRounds.
+    eta_per_call:
+        Allowed failure probability per oracle call
+        (= ``failure_prob / mm_calls_budget``).
+    iterations_per_call:
+        MatchingRound iterations per oracle call —
+        ``O(log(n/δε³))``.
+    rounds_per_call:
+        Communication rounds charged per oracle call.
+    """
+
+    k: int
+    delta_quantile: float
+    mm_calls_budget: int
+    eta_per_call: float
+    iterations_per_call: int
+    rounds_per_call: int
+
+
+def plan_rand_asm(
+    prefs: PreferenceProfile, eps: float, failure_prob: float
+) -> RandASMPlan:
+    """Derive RandASM's parameters for the given instance and targets."""
+    if not 0 < failure_prob < 1:
+        raise InvalidParameterError(
+            f"failure_prob must be in (0, 1), got {failure_prob}"
+        )
+    k, delta_quantile = params_for_eps(eps)
+    n = max(2, prefs.n_players)
+    outer = math.ceil(math.log2(max(2, prefs.n_men, prefs.n_women))) + 1
+    inner = math.ceil(2.0 * k / delta_quantile)
+    mm_calls_budget = outer * inner * k
+    eta_per_call = failure_prob / mm_calls_budget
+    iterations = rounds_for_maximality(n, min(0.5, eta_per_call))
+    return RandASMPlan(
+        k=k,
+        delta_quantile=delta_quantile,
+        mm_calls_budget=mm_calls_budget,
+        eta_per_call=eta_per_call,
+        iterations_per_call=iterations,
+        rounds_per_call=iterations * ROUNDS_PER_MATCHING_ROUND,
+    )
+
+
+def rand_asm(
+    prefs: PreferenceProfile,
+    eps: float,
+    failure_prob: float = 0.1,
+    seed: int = 0,
+    *,
+    check_invariants: bool = False,
+    observer: Optional[ASMObserver] = None,
+) -> ASMResult:
+    """Run ``RandASM(P, ε, n, δ)`` (Theorem 5).
+
+    Produces a (1−ε)-stable matching with probability at least
+    ``1 − failure_prob``, in ``O(ε⁻³ log²(n/δε³))`` scheduled rounds
+    (each of the ``O(ε⁻³ log n)`` ProposalRounds pays a fixed
+    ``O(log(n/δε³))``-round oracle budget).
+
+    Examples
+    --------
+    >>> from repro.workloads.generators import complete_uniform
+    >>> from repro.analysis.stability import instability
+    >>> prefs = complete_uniform(16, seed=3)
+    >>> result = rand_asm(prefs, eps=0.25, failure_prob=0.1, seed=7)
+    >>> instability(prefs, result.matching) <= 0.25
+    True
+    """
+    plan = plan_rand_asm(prefs, eps, failure_prob)
+    engine = ASMEngine(
+        prefs,
+        eps,
+        k=plan.k,
+        delta=plan.delta_quantile,
+        mm_oracle=truncated_israeli_itai_oracle(
+            plan.iterations_per_call, seed=seed
+        ),
+        mm_cost_model=FixedCost(plan.rounds_per_call),
+        check_invariants=check_invariants,
+        observer=observer,
+    )
+    return engine.run()

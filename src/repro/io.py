@@ -1,0 +1,138 @@
+"""File I/O for instances, matchings and results.
+
+Plain JSON on disk so experiments are reproducible and shareable:
+
+* :func:`save_profile` / :func:`load_profile` — preference profiles,
+  with a small metadata envelope (format version, counts, generator
+  provenance if provided).
+* :func:`save_matching` / :func:`load_matching` — matchings.
+* :func:`save_result` — an :class:`~repro.core.asm.ASMResult` summary.
+
+The envelope is versioned so future format changes stay readable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.core.asm import ASMResult
+from repro.core.matching import Matching
+from repro.core.preferences import PreferenceProfile
+from repro.errors import ReproError
+
+__all__ = [
+    "FORMAT_VERSION",
+    "FileFormatError",
+    "save_profile",
+    "load_profile",
+    "save_matching",
+    "load_matching",
+    "save_result",
+]
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+class FileFormatError(ReproError):
+    """Raised when a file is not a recognizable repro JSON document."""
+
+
+def _write(path: PathLike, kind: str, body: Dict[str, Any]) -> None:
+    document = {"format": "repro", "version": FORMAT_VERSION, "kind": kind}
+    document.update(body)
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+
+
+def _read(path: PathLike, kind: str) -> Dict[str, Any]:
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise FileFormatError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(document, dict) or document.get("format") != "repro":
+        raise FileFormatError(f"{path}: missing repro format envelope")
+    if document.get("version") != FORMAT_VERSION:
+        raise FileFormatError(
+            f"{path}: unsupported format version {document.get('version')!r}"
+        )
+    if document.get("kind") != kind:
+        raise FileFormatError(
+            f"{path}: expected kind {kind!r}, found {document.get('kind')!r}"
+        )
+    return document
+
+
+def save_profile(
+    prefs: PreferenceProfile,
+    path: PathLike,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write ``prefs`` to ``path`` as versioned JSON.
+
+    ``metadata`` (e.g. generator name/seed) is stored verbatim under
+    the ``"metadata"`` key for provenance.
+    """
+    _write(
+        path,
+        "preference_profile",
+        {
+            "n_men": prefs.n_men,
+            "n_women": prefs.n_women,
+            "num_edges": prefs.num_edges,
+            "metadata": metadata or {},
+            "profile": prefs.to_dict(),
+        },
+    )
+
+
+def load_profile(path: PathLike) -> PreferenceProfile:
+    """Read a profile written by :func:`save_profile`.
+
+    Raises
+    ------
+    FileFormatError
+        If the file is not a valid profile document.
+    InvalidPreferencesError
+        If the stored lists violate the profile invariants.
+    """
+    document = _read(path, "preference_profile")
+    return PreferenceProfile.from_dict(document["profile"])
+
+
+def save_matching(
+    matching: Matching,
+    path: PathLike,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write ``matching`` to ``path`` as versioned JSON."""
+    _write(
+        path,
+        "matching",
+        {
+            "size": len(matching),
+            "metadata": metadata or {},
+            "matching": matching.to_dict(),
+        },
+    )
+
+
+def load_matching(path: PathLike) -> Matching:
+    """Read a matching written by :func:`save_matching`."""
+    document = _read(path, "matching")
+    return Matching.from_dict(document["matching"])
+
+
+def save_result(
+    result: ASMResult,
+    path: PathLike,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write an ASM run's summary (``result.to_dict()``) to ``path``."""
+    _write(
+        path,
+        "asm_result",
+        {"metadata": metadata or {}, "result": result.to_dict()},
+    )

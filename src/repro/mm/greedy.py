@@ -1,0 +1,34 @@
+"""Centralized greedy maximal matching.
+
+Not a distributed algorithm — this is the reference oracle used in
+tests (any greedy over all edges is maximal) and as a fast
+non-distributed stand-in when only the *output quality* of ASM matters
+and round counts are charged analytically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.graphs import Graph, NodeId
+from repro.mm.result import MMResult
+
+__all__ = ["greedy_maximal_matching"]
+
+
+def greedy_maximal_matching(graph: Graph) -> MMResult:
+    """Scan edges in deterministic order, matching whenever both ends are free.
+
+    The result is always a maximal matching (every edge was considered;
+    an edge skipped had a matched endpoint).  ``rounds`` is reported as
+    0 — this oracle models "free" centralized computation; callers that
+    need distributed round accounting use
+    :mod:`repro.mm.israeli_itai` / :mod:`repro.mm.deterministic` or an
+    analytic cost model (see ``repro.core.rounds``).
+    """
+    partner: Dict[NodeId, NodeId] = {}
+    for u, v in graph.edges():
+        if u not in partner and v not in partner:
+            partner[u] = v
+            partner[v] = u
+    return MMResult(partner=partner, rounds=0)

@@ -1,0 +1,62 @@
+"""Result type shared by all maximal-matching algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.graphs import NodeId
+
+__all__ = ["MMResult", "partner_map_from_pairs"]
+
+
+def partner_map_from_pairs(
+    pairs: List[Tuple[NodeId, NodeId]]
+) -> Dict[NodeId, NodeId]:
+    """Build a symmetric partner map from a list of matched edges."""
+    partner: Dict[NodeId, NodeId] = {}
+    for u, v in pairs:
+        if u in partner or v in partner:
+            raise ValueError(f"vertex matched twice in pairs: ({u!r}, {v!r})")
+        partner[u] = v
+        partner[v] = u
+    return partner
+
+
+@dataclass
+class MMResult:
+    """Output of a (possibly almost-) maximal matching computation.
+
+    Attributes
+    ----------
+    partner:
+        Symmetric partner map; ``partner[u] == v`` iff ``{u, v}`` is a
+        matched edge.
+    rounds:
+        Communication rounds the simulated distributed algorithm used.
+    per_iteration_active:
+        Number of *active* (non-removed) vertices remaining after each
+        algorithm iteration — used to measure the geometric decay of
+        Lemma 8.
+    """
+
+    partner: Dict[NodeId, NodeId]
+    rounds: int
+    per_iteration_active: List[int] = field(default_factory=list)
+
+    def pairs(self) -> List[Tuple[NodeId, NodeId]]:
+        """Matched edges, once each, in deterministic order."""
+        seen = set()
+        out: List[Tuple[NodeId, NodeId]] = []
+        for u in sorted(self.partner, key=repr):
+            v = self.partner[u]
+            key = frozenset((u, v))
+            if key not in seen:
+                seen.add(key)
+                out.append((u, v))
+        return out
+
+    @property
+    def size(self) -> int:
+        """Number of matched edges."""
+        return len(self.partner) // 2

@@ -1,0 +1,31 @@
+"""Synthetic workload generators."""
+
+from repro.workloads.generators import (
+    GENERATORS,
+    adversarial_gale_shapley,
+    almost_regular,
+    bounded_degree,
+    clustered,
+    complete_uniform,
+    euclidean,
+    gnp_incomplete,
+    make_instance,
+    master_list,
+    regular_bipartite,
+    zipf_popularity,
+)
+
+__all__ = [
+    "GENERATORS",
+    "adversarial_gale_shapley",
+    "almost_regular",
+    "bounded_degree",
+    "clustered",
+    "complete_uniform",
+    "euclidean",
+    "gnp_incomplete",
+    "make_instance",
+    "master_list",
+    "regular_bipartite",
+    "zipf_popularity",
+]

@@ -1,0 +1,321 @@
+"""Synthetic preference-profile generators.
+
+The paper has no experimental section, so these workloads are designed
+to exercise every regime its theory distinguishes:
+
+* complete preferences (1-almost-regular — Theorem 6's best case),
+* incomplete G(n, p)-style preferences (arbitrary/unbounded lists —
+  the regime where ASM is the first sub-polynomial algorithm),
+* bounded-degree preferences (the regime of Floréen et al. [3]),
+* α-almost-regular preferences (Section 5.2),
+* correlated "master list" preferences (decentralized-market folklore:
+  correlation makes instability worse for truncated algorithms),
+* Euclidean latent-space preferences (social-network-like locality),
+* an adversarial instance on which Gale–Shapley needs Θ(n²) proposals.
+
+All generators are deterministic functions of their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.preferences import PreferenceProfile
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "complete_uniform",
+    "gnp_incomplete",
+    "bounded_degree",
+    "regular_bipartite",
+    "almost_regular",
+    "master_list",
+    "euclidean",
+    "zipf_popularity",
+    "clustered",
+    "adversarial_gale_shapley",
+    "GENERATORS",
+    "make_instance",
+]
+
+
+def _shuffled(rng: random.Random, items: Sequence[int]) -> List[int]:
+    """A new shuffled copy of ``items``."""
+    out = list(items)
+    rng.shuffle(out)
+    return out
+
+
+def _profile_from_adjacency(
+    men_adj: List[List[int]], n_women: int, rng: random.Random
+) -> PreferenceProfile:
+    """Build a profile by randomly ranking a bipartite adjacency structure."""
+    women_adj: List[List[int]] = [[] for _ in range(n_women)]
+    for m, lst in enumerate(men_adj):
+        for w in lst:
+            women_adj[w].append(m)
+    men_prefs = [_shuffled(rng, lst) for lst in men_adj]
+    women_prefs = [_shuffled(rng, lst) for lst in women_adj]
+    return PreferenceProfile(men_prefs, women_prefs)
+
+
+def complete_uniform(
+    n: int, seed: int = 0, n_women: Optional[int] = None
+) -> PreferenceProfile:
+    """Complete preferences: every list is an independent uniform permutation.
+
+    With ``n_women`` unset both sides have ``n`` players.  Complete
+    preferences are 1-almost-regular, the setting where
+    ``AlmostRegularASM`` achieves O(1) rounds.
+    """
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    n_women = n if n_women is None else n_women
+    rng = random.Random(seed)
+    men_prefs = [_shuffled(rng, range(n_women)) for _ in range(n)]
+    women_prefs = [_shuffled(rng, range(n)) for _ in range(n_women)]
+    return PreferenceProfile(men_prefs, women_prefs)
+
+
+def gnp_incomplete(
+    n: int, p: float, seed: int = 0, n_women: Optional[int] = None
+) -> PreferenceProfile:
+    """Incomplete preferences: each pair is mutually acceptable w.p. ``p``.
+
+    Produces unbounded, irregular lists — the general regime of
+    Theorems 3–5.  Degrees concentrate around ``p·n`` but vary, so the
+    profile is typically *not* α-almost-regular for small α.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise InvalidParameterError(f"p must be in [0, 1], got {p}")
+    n_women = n if n_women is None else n_women
+    rng = random.Random(seed)
+    men_adj: List[List[int]] = [[] for _ in range(n)]
+    for m in range(n):
+        for w in range(n_women):
+            if rng.random() < p:
+                men_adj[m].append(w)
+    return _profile_from_adjacency(men_adj, n_women, rng)
+
+
+def bounded_degree(n: int, d: int, seed: int = 0) -> PreferenceProfile:
+    """Each man ranks ``min(d, n)`` women chosen uniformly without replacement.
+
+    Men's lists are uniformly bounded by ``d`` (the Floréen et al. [3]
+    regime); women's degrees vary binomially around ``d``.
+    """
+    if d < 0:
+        raise InvalidParameterError(f"d must be >= 0, got {d}")
+    rng = random.Random(seed)
+    d_eff = min(d, n)
+    men_adj = [rng.sample(range(n), d_eff) for _ in range(n)]
+    return _profile_from_adjacency(men_adj, n, rng)
+
+
+def regular_bipartite(n: int, d: int, seed: int = 0) -> PreferenceProfile:
+    """A d-regular bipartite communication graph (both sides degree ``d``).
+
+    Built as a randomly relabeled circulant: man ``m`` is adjacent to
+    women ``τ[(σ(m) + o) mod n]`` for ``d`` distinct random offsets
+    ``o`` and independent random relabelings ``σ, τ``.  Every vertex on
+    both sides has degree exactly ``d`` (1-almost-regular), and
+    preference orders within the lists are uniformly random.
+    """
+    if not 0 <= d <= n:
+        raise InvalidParameterError(f"d must be in [0, n]; got d={d}, n={n}")
+    rng = random.Random(seed)
+    if n == 0:
+        return PreferenceProfile([], [])
+    sigma = _shuffled(rng, range(n))
+    tau = _shuffled(rng, range(n))
+    offsets = rng.sample(range(n), d)
+    men_adj = [
+        sorted(tau[(sigma[m] + o) % n] for o in offsets) for m in range(n)
+    ]
+    return _profile_from_adjacency(men_adj, n, rng)
+
+
+def almost_regular(
+    n: int, d_min: int, d_max: int, seed: int = 0
+) -> PreferenceProfile:
+    """Men's degrees drawn uniformly from ``[d_min, d_max]``.
+
+    The resulting profile is α-almost-regular for ``α ≈ d_max/d_min``
+    (Section 5.2), the setting of ``AlmostRegularASM``.
+    """
+    if not 0 < d_min <= d_max <= n:
+        raise InvalidParameterError(
+            f"need 0 < d_min <= d_max <= n; got d_min={d_min}, "
+            f"d_max={d_max}, n={n}"
+        )
+    rng = random.Random(seed)
+    men_adj = [
+        rng.sample(range(n), rng.randint(d_min, d_max)) for _ in range(n)
+    ]
+    return _profile_from_adjacency(men_adj, n, rng)
+
+
+def master_list(n: int, noise: float = 0.1, seed: int = 0) -> PreferenceProfile:
+    """Correlated complete preferences from a common quality score.
+
+    Every player ``u`` has a latent quality ``s_u ~ U[0, 1]``; player
+    ``v`` ranks the opposite side by ``s_u + noise·ξ_{vu}`` with
+    independent ``ξ ~ U[-1, 1]``.  ``noise = 0`` gives identical
+    ("master") lists on each side; large ``noise`` approaches
+    :func:`complete_uniform`.
+    """
+    if noise < 0:
+        raise InvalidParameterError(f"noise must be >= 0, got {noise}")
+    rng = random.Random(seed)
+    women_quality = [rng.random() for _ in range(n)]
+    men_quality = [rng.random() for _ in range(n)]
+
+    def ranked(qualities: List[float]) -> List[int]:
+        scored = [
+            (qualities[u] + noise * rng.uniform(-1.0, 1.0), u)
+            for u in range(len(qualities))
+        ]
+        # Higher perceived quality = more preferred.
+        scored.sort(key=lambda t: (-t[0], t[1]))
+        return [u for _, u in scored]
+
+    men_prefs = [ranked(women_quality) for _ in range(n)]
+    women_prefs = [ranked(men_quality) for _ in range(n)]
+    return PreferenceProfile(men_prefs, women_prefs)
+
+
+def euclidean(
+    n: int, radius: Optional[float] = None, seed: int = 0
+) -> PreferenceProfile:
+    """Latent-space preferences: players are points in the unit square.
+
+    A pair is mutually acceptable when their distance is below
+    ``radius`` (default ``2/sqrt(n)``, giving ~constant expected degree
+    growth), and each player ranks acceptable partners by increasing
+    distance.  Models social networks where players only know (and
+    prefer) nearby acquaintances.
+    """
+    rng = random.Random(seed)
+    if radius is None:
+        radius = 2.0 / max(1.0, n) ** 0.5
+    men_pts = [(rng.random(), rng.random()) for _ in range(n)]
+    women_pts = [(rng.random(), rng.random()) for _ in range(n)]
+
+    def dist2(a, b):
+        return (a[0] - b[0]) ** 2 + (a[1] - b[1]) ** 2
+
+    r2 = radius * radius
+    men_prefs: List[List[int]] = []
+    for m in range(n):
+        near = [w for w in range(n) if dist2(men_pts[m], women_pts[w]) <= r2]
+        near.sort(key=lambda w: (dist2(men_pts[m], women_pts[w]), w))
+        men_prefs.append(near)
+    women_prefs: List[List[int]] = []
+    for w in range(n):
+        near = [m for m in range(n) if dist2(men_pts[m], women_pts[w]) <= r2]
+        near.sort(key=lambda m: (dist2(men_pts[m], women_pts[w]), m))
+        women_prefs.append(near)
+    return PreferenceProfile(men_prefs, women_prefs)
+
+
+def zipf_popularity(
+    n: int, exponent: float = 1.0, seed: int = 0
+) -> PreferenceProfile:
+    """Complete preferences skewed toward globally popular partners.
+
+    Each woman ``w`` has a Zipf popularity weight ``(w+1)^-exponent``;
+    every man ranks the women by an independent Plackett–Luce draw
+    (exponential race keyed by weight), so popular women appear early
+    on most lists.  Men are symmetric with their own weights.  A harder
+    regime for proposal algorithms than :func:`complete_uniform`:
+    popular players receive floods of proposals (cf. experiment E11's
+    per-processor work accounting).
+    """
+    if exponent < 0:
+        raise InvalidParameterError(f"exponent must be >= 0, got {exponent}")
+    rng = random.Random(seed)
+    women_weight = [(w + 1.0) ** -exponent for w in range(n)]
+    men_weight = [(m + 1.0) ** -exponent for m in range(n)]
+
+    def luce_permutation(weights: List[float]) -> List[int]:
+        keyed = [
+            (rng.expovariate(1.0) / weights[u], u)
+            for u in range(len(weights))
+        ]
+        keyed.sort()
+        return [u for _, u in keyed]
+
+    men_prefs = [luce_permutation(women_weight) for _ in range(n)]
+    women_prefs = [luce_permutation(men_weight) for _ in range(n)]
+    return PreferenceProfile(men_prefs, women_prefs)
+
+
+def clustered(
+    n: int,
+    n_clusters: int = 4,
+    p_in: float = 0.6,
+    p_out: float = 0.02,
+    seed: int = 0,
+) -> PreferenceProfile:
+    """Community-structured incomplete preferences.
+
+    Players are split round-robin into ``n_clusters`` communities; a
+    pair is mutually acceptable with probability ``p_in`` inside a
+    community and ``p_out`` across communities, with random ranks.
+    Models matching markets with strong locality (schools/regions).
+    """
+    if n_clusters < 1:
+        raise InvalidParameterError(
+            f"n_clusters must be >= 1, got {n_clusters}"
+        )
+    for name, p in (("p_in", p_in), ("p_out", p_out)):
+        if not 0.0 <= p <= 1.0:
+            raise InvalidParameterError(f"{name} must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    men_adj: List[List[int]] = [[] for _ in range(n)]
+    for m in range(n):
+        for w in range(n):
+            p = p_in if m % n_clusters == w % n_clusters else p_out
+            if rng.random() < p:
+                men_adj[m].append(w)
+    return _profile_from_adjacency(men_adj, n, rng)
+
+
+def adversarial_gale_shapley(n: int) -> PreferenceProfile:
+    """A worst-case instance for men-proposing Gale–Shapley.
+
+    All men share the list ``(w_0, w_1, …)`` and all women share the
+    list ``(m_0, m_1, …)``.  Man ``m_i`` is rejected by women
+    ``w_0, …, w_{i-1}`` before being accepted by ``w_i``, so GS performs
+    ``n(n+1)/2 = Θ(n²)`` proposals — the lower-bound regime the paper's
+    introduction contrasts against.
+    """
+    men_prefs = [list(range(n)) for _ in range(n)]
+    women_prefs = [list(range(n)) for _ in range(n)]
+    return PreferenceProfile(men_prefs, women_prefs)
+
+
+GENERATORS: Dict[str, Callable[..., PreferenceProfile]] = {
+    "complete": complete_uniform,
+    "gnp": gnp_incomplete,
+    "bounded": bounded_degree,
+    "regular": regular_bipartite,
+    "almost_regular": almost_regular,
+    "master_list": master_list,
+    "euclidean": euclidean,
+    "zipf": zipf_popularity,
+    "clustered": clustered,
+    "adversarial_gs": adversarial_gale_shapley,
+}
+
+
+def make_instance(name: str, **kwargs) -> PreferenceProfile:
+    """Instantiate a registered generator by name (for the CLI/benchmarks)."""
+    try:
+        gen = GENERATORS[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown workload {name!r}; available: {sorted(GENERATORS)}"
+        ) from None
+    return gen(**kwargs)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite (helpers live in tests/helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.preferences import PreferenceProfile
+from repro.workloads.generators import complete_uniform, gnp_incomplete
+
+
+@pytest.fixture
+def tiny_prefs() -> PreferenceProfile:
+    """The classic 3x3 instance with "rotated" preferences.
+
+    Every man ranks woman ``m`` first (shifted), every woman ranks man
+    ``w+1`` first, so the man-optimal and woman-optimal stable matchings
+    differ.
+    """
+    return PreferenceProfile(
+        men_prefs=[[0, 1, 2], [1, 2, 0], [2, 0, 1]],
+        women_prefs=[[1, 2, 0], [2, 0, 1], [0, 1, 2]],
+    )
+
+
+@pytest.fixture
+def small_complete() -> PreferenceProfile:
+    """An 8x8 complete uniform instance."""
+    return complete_uniform(8, seed=42)
+
+
+@pytest.fixture
+def small_incomplete() -> PreferenceProfile:
+    """A 12x12 sparse incomplete instance."""
+    return gnp_incomplete(12, 0.4, seed=7)

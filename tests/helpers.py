@@ -1,0 +1,40 @@
+"""Non-fixture helpers shared across test modules."""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.analysis.stability import count_blocking_pairs
+from repro.core.matching import Matching
+from repro.core.preferences import PreferenceProfile
+
+
+def all_perfect_matchings(n: int):
+    """Yield every perfect matching of an n x n complete instance."""
+    for perm in itertools.permutations(range(n)):
+        yield Matching((m, perm[m]) for m in range(n))
+
+
+def enumerate_stable_matchings(prefs: PreferenceProfile) -> List[Matching]:
+    """Brute-force all stable matchings of a small *complete* instance.
+
+    For complete preferences every stable matching is perfect, so
+    enumerating permutations suffices.
+    """
+    assert prefs.is_complete() and prefs.n_men == prefs.n_women
+    out = []
+    for matching in all_perfect_matchings(prefs.n_men):
+        if count_blocking_pairs(prefs, matching) == 0:
+            out.append(matching)
+    return out
+
+
+def man_rank_of_partner(
+    prefs: PreferenceProfile, matching: Matching, m: int
+) -> Optional[int]:
+    """Man m's rank of his partner, or None if unmatched."""
+    w = matching.partner_of_man(m)
+    if w is None:
+        return None
+    return prefs.rank_of_woman(m, w)

@@ -1,0 +1,116 @@
+"""Tests for AlmostRegularASM (Theorem 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stability import instability
+from repro.core.almost_regular import (
+    almost_regular_asm,
+    plan_almost_regular,
+)
+from repro.core.asm import ASMEngine
+from repro.errors import InvalidParameterError
+from repro.mm.oracles import amm_oracle
+from repro.workloads.generators import (
+    almost_regular,
+    complete_uniform,
+    regular_bipartite,
+)
+
+
+class TestPlan:
+    def test_alpha_defaults_to_measured(self):
+        prefs = complete_uniform(16, seed=0)
+        plan = plan_almost_regular(prefs, 0.3, 0.1)
+        assert plan.alpha == 1.0
+
+    def test_alpha_override(self):
+        prefs = complete_uniform(16, seed=0)
+        plan = plan_almost_regular(prefs, 0.3, 0.1, alpha=2.0)
+        assert plan.alpha == 2.0
+
+    def test_budget_independent_of_n(self):
+        """The whole point of Theorem 6: the schedule has no n in it."""
+        p_small = plan_almost_regular(complete_uniform(8, seed=0), 0.3, 0.1)
+        p_large = plan_almost_regular(
+            complete_uniform(512, seed=0), 0.3, 0.1
+        )
+        assert (
+            p_small.quantile_match_iterations
+            == p_large.quantile_match_iterations
+        )
+        assert p_small.rounds_per_call == p_large.rounds_per_call
+
+    def test_iterations_grow_with_alpha(self):
+        prefs = complete_uniform(16, seed=0)
+        p1 = plan_almost_regular(prefs, 0.3, 0.1, alpha=1.0)
+        p4 = plan_almost_regular(prefs, 0.3, 0.1, alpha=4.0)
+        assert p4.quantile_match_iterations > p1.quantile_match_iterations
+
+    def test_invalid_parameters(self):
+        prefs = complete_uniform(8, seed=0)
+        with pytest.raises(InvalidParameterError):
+            plan_almost_regular(prefs, 0.3, 0.0)
+        with pytest.raises(InvalidParameterError):
+            plan_almost_regular(prefs, 0.3, 0.1, alpha=0.5)
+
+
+class TestAlmostRegularASM:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_theorem6_complete(self, seed):
+        prefs = complete_uniform(24, seed=seed)
+        run = almost_regular_asm(prefs, 0.3, seed=seed)
+        assert instability(prefs, run.matching) <= 0.3
+
+    def test_regular_bipartite(self):
+        prefs = regular_bipartite(20, 6, seed=1)
+        run = almost_regular_asm(prefs, 0.4, seed=2)
+        run.matching.validate_against(prefs)
+        assert instability(prefs, run.matching) <= 0.4
+
+    def test_almost_regular_workload(self):
+        prefs = almost_regular(24, 6, 12, seed=3)
+        run = almost_regular_asm(prefs, 0.4, seed=4)
+        assert instability(prefs, run.matching) <= 0.4
+
+    def test_removed_men_tracked_separately(self):
+        prefs = complete_uniform(16, seed=5)
+        run = almost_regular_asm(prefs, 0.4, seed=6)
+        assert run.removed_men.isdisjoint(run.good_men)
+        assert run.removed_men.isdisjoint(run.bad_men)
+        # Removed men never end matched (they withdrew while free).
+        for m in run.removed_men:
+            assert run.matching.partner_of_man(m) is None
+
+    def test_scheduled_rounds_independent_of_n(self):
+        runs = [
+            almost_regular_asm(complete_uniform(n, seed=0), 0.3, seed=0)
+            for n in (8, 32, 128)
+        ]
+        assert len({r.rounds_scheduled for r in runs}) == 1
+
+    def test_reproducible(self):
+        prefs = complete_uniform(16, seed=7)
+        a = almost_regular_asm(prefs, 0.3, seed=9)
+        b = almost_regular_asm(prefs, 0.3, seed=9)
+        assert a.matching == b.matching
+
+
+class TestRemovalMechanism:
+    def test_engine_removal_flag(self):
+        """With remove_unmatched_violators and a weak AMM (1 iteration),
+        violating men leave the game and the run still terminates with
+        a valid matching."""
+        prefs = complete_uniform(16, seed=8)
+        engine = ASMEngine(
+            prefs,
+            0.4,
+            mm_oracle=amm_oracle(0.5, 0.5, seed=1),
+            remove_unmatched_violators=True,
+        )
+        run = engine.run_flat(10)
+        run.matching.validate_against(prefs)
+        assert run.good_men | run.bad_men | run.removed_men == frozenset(
+            range(16)
+        )

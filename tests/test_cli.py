@@ -1,0 +1,134 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "asm"
+        assert args.workload == "complete"
+        assert args.n == 128
+
+    def test_invalid_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "nope"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "experiments:" in out
+        assert "workloads:" in out
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["asm", "rand-asm", "almost-regular-asm", "gale-shapley",
+         "truncated-gs"],
+    )
+    def test_run_each_algorithm(self, algorithm, capsys):
+        code = main(
+            [
+                "run",
+                "--algorithm",
+                algorithm,
+                "--workload",
+                "complete",
+                "--n",
+                "12",
+                "--eps",
+                "0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert algorithm.split("@")[0] in out
+
+    @pytest.mark.parametrize(
+        "workload",
+        ["complete", "gnp", "bounded", "regular", "almost_regular",
+         "master_list", "euclidean", "zipf", "clustered",
+         "adversarial_gs"],
+    )
+    def test_run_each_workload(self, workload, capsys):
+        code = main(
+            ["run", "--workload", workload, "--n", "12", "--eps", "0.5"]
+        )
+        assert code == 0
+        assert workload in capsys.readouterr().out
+
+    def test_experiment_quick(self, capsys):
+        code = main(["experiment", "e8", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[E8]" in out and "PASS" in out
+
+    def test_experiment_unknown(self):
+        with pytest.raises(KeyError):
+            main(["experiment", "nope"])
+
+    def test_experiment_seed_override(self, capsys):
+        assert main(["experiment", "e8", "--quick", "--seed", "3"]) == 0
+
+    @pytest.mark.parametrize(
+        "protocol",
+        ["asm", "rand-asm", "almost-regular-asm", "gale-shapley"],
+    )
+    def test_congest_each_protocol(self, protocol, capsys):
+        code = main(
+            [
+                "congest",
+                "--protocol",
+                protocol,
+                "--n",
+                "5",
+                "--inner",
+                "3",
+                "--outer",
+                "2",
+                "--mm-iterations",
+                "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert protocol in out
+        assert "rounds" in out
+
+    def test_run_json_output(self, capsys):
+        assert main(
+            ["run", "--n", "10", "--eps", "0.5", "--json"]
+        ) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["eps"] == 0.5
+        assert payload["n_men"] == 10
+        assert "instability" in payload
+        assert payload["instability"] <= 0.5
+
+    def test_report_quick(self, capsys):
+        assert main(["report", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "overall: PASS" in out
+        # every registered experiment appears
+        from repro.analysis.experiments import ALL_EXPERIMENTS
+
+        for name in ALL_EXPERIMENTS:
+            assert f"[{name.upper()}]" in out
+
+    def test_report_quick_markdown(self, capsys):
+        assert main(["report", "--quick", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "## E1 —" in out
+        assert "**Overall: PASS**" in out
+        assert "| workload |" in out

@@ -1,0 +1,135 @@
+"""Exhaustive verification on tiny instances.
+
+For n = 2 the space of complete preference profiles is tiny
+((2!)⁴ = 16); we check every one.  For n = 3 ((3!)⁶ = 46 656) we check
+a deterministic sample, and for 2×2 incomplete markets we enumerate
+every symmetric acceptability structure with every ranking.  These
+exhaustive sweeps catch corner cases random generators rarely hit
+(empty lists, ties in quantiles, single-suitor women, etc.).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.analysis.stability import count_blocking_pairs, is_stable
+from repro.baselines.gale_shapley import gale_shapley, parallel_gale_shapley
+from repro.core.asm import asm
+from repro.core.preferences import PreferenceProfile
+
+
+def all_complete_profiles(n: int):
+    """Every complete profile on n men / n women."""
+    orders = list(itertools.permutations(range(n)))
+    for men in itertools.product(orders, repeat=n):
+        for women in itertools.product(orders, repeat=n):
+            yield PreferenceProfile(men, women)
+
+
+def sampled_complete_profiles(n: int, stride: int):
+    """A deterministic stride-sample of the complete-profile space."""
+    for i, prefs in enumerate(all_complete_profiles(n)):
+        if i % stride == 0:
+            yield prefs
+
+
+class TestExhaustiveN2:
+    def test_gale_shapley_stable_on_all_16(self):
+        count = 0
+        for prefs in all_complete_profiles(2):
+            result = gale_shapley(prefs)
+            assert is_stable(prefs, result.matching)
+            assert len(result.matching) == 2
+            count += 1
+        assert count == 16
+
+    def test_parallel_gs_equals_sequential_on_all_16(self):
+        for prefs in all_complete_profiles(2):
+            assert (
+                parallel_gale_shapley(prefs).matching
+                == gale_shapley(prefs).matching
+            )
+
+    @pytest.mark.parametrize("eps", [0.3, 1.0])
+    def test_asm_theorem3_on_all_16(self, eps):
+        for prefs in all_complete_profiles(2):
+            run = asm(prefs, eps, check_invariants=True)
+            run.matching.validate_against(prefs)
+            assert count_blocking_pairs(prefs, run.matching) <= (
+                eps * prefs.num_edges
+            )
+
+
+class TestSampledN3:
+    def test_asm_theorem3_on_sampled_n3(self):
+        eps = 0.5
+        checked = 0
+        for prefs in sampled_complete_profiles(3, stride=997):
+            run = asm(prefs, eps, check_invariants=True)
+            assert count_blocking_pairs(prefs, run.matching) <= (
+                eps * prefs.num_edges
+            )
+            checked += 1
+        assert checked >= 40
+
+    def test_gs_stable_on_sampled_n3(self):
+        for prefs in sampled_complete_profiles(3, stride=1499):
+            assert is_stable(prefs, gale_shapley(prefs).matching)
+
+
+def all_incomplete_2x2_profiles():
+    """Every symmetric 2x2 market: each of the 4 potential edges is
+    present or absent, and each player orders their acceptable set."""
+    edges_all = [(0, 0), (0, 1), (1, 0), (1, 1)]
+    for mask in range(16):
+        edges = [e for i, e in enumerate(edges_all) if mask >> i & 1]
+        men_sets = [
+            sorted(w for (m, w) in edges if m == mm) for mm in range(2)
+        ]
+        women_sets = [
+            sorted(m for (m, w) in edges if w == ww) for ww in range(2)
+        ]
+        men_orders = [
+            list(itertools.permutations(s)) for s in men_sets
+        ]
+        women_orders = [
+            list(itertools.permutations(s)) for s in women_sets
+        ]
+        for m0 in men_orders[0]:
+            for m1 in men_orders[1]:
+                for w0 in women_orders[0]:
+                    for w1 in women_orders[1]:
+                        yield PreferenceProfile([m0, m1], [w0, w1])
+
+
+class TestExhaustiveIncomplete2x2:
+    def test_space_size_and_distinctness(self):
+        profiles = list(all_incomplete_2x2_profiles())
+        # Sum over the 16 edge masks of prod(|acceptable set|!) per
+        # player = sum of 2^(players with degree 2):
+        # 16 (full) + 4*4 (3 edges) + (4*2 + 2*1) (2 edges) + 4 + 1 = 47.
+        assert len(profiles) == 47
+        assert len(set(profiles)) == 47  # all distinct (hashable)
+
+    def test_gs_stable_on_every_incomplete_2x2(self):
+        for prefs in all_incomplete_2x2_profiles():
+            result = gale_shapley(prefs)
+            result.matching.validate_against(prefs)
+            assert is_stable(prefs, result.matching)
+
+    def test_asm_theorem3_on_every_incomplete_2x2(self):
+        for prefs in all_incomplete_2x2_profiles():
+            run = asm(prefs, 0.5, check_invariants=True)
+            run.matching.validate_against(prefs)
+            assert count_blocking_pairs(prefs, run.matching) <= (
+                0.5 * prefs.num_edges
+            )
+
+    def test_asm_exact_when_eps_tiny_on_2x2(self):
+        """With eps tiny, k is huge (singleton quantiles): ASM finds an
+        exactly stable matching on every 2x2 instance."""
+        for prefs in all_incomplete_2x2_profiles():
+            run = asm(prefs, 0.01, check_invariants=True)
+            assert is_stable(prefs, run.matching)

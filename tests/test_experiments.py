@@ -1,0 +1,83 @@
+"""Tests for the experiment harness (all DESIGN.md §3 drivers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+)
+
+# Small-scale kwargs so each driver runs in well under a second.
+SMALL = {
+    "e1": dict(n_values=(12, 16), eps_values=(0.3, 0.6), trials=1),
+    "e2": dict(n_values=(8, 16, 32), trials=1),
+    "e3": dict(n_values=(12,), trials=2),
+    "e4": dict(n_values=(8, 16), trials=1),
+    "e5": dict(n=16, trials=1),
+    "e6": dict(n_values=(24,), trials=2),
+    "e7": dict(n_values=(12,), trials=1),
+    "e8": dict(n_values=(16,), trials=1),
+    "e9": dict(n_values=(12,), trials=1),
+    "e10": dict(n_values=(24,), trials=4),
+    "e11": dict(n_values=(16, 32, 64), trials=1),
+    "e12": dict(n_values=(10, 20), trials=1),
+    "a1": dict(n=16, k_values=(2, 4), trials=1),
+    "a2": dict(n=16, trials=1),
+    "a3": dict(n_values=(5,)),
+    "a4": dict(n=20, trials=1),
+    "a5": dict(n_values=(12, 24), trials=1),
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_experiment_passes_at_small_scale(name):
+    result = run_experiment(name, **SMALL[name])
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, f"{name} produced no rows"
+    assert result.passed, f"{name} failed: {result.table()}"
+
+
+def test_every_experiment_has_small_config():
+    assert set(SMALL) == set(ALL_EXPERIMENTS)
+
+
+def test_run_experiment_unknown():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("zz9")
+
+
+def test_table_rendering():
+    result = run_experiment("e8", **SMALL["e8"])
+    text = result.table()
+    assert "[E8]" in text
+    assert "verdict: PASS" in text
+
+
+def test_experiment_deterministic():
+    a = run_experiment("e1", **SMALL["e1"])
+    b = run_experiment("e1", **SMALL["e1"])
+    assert a.rows == b.rows
+
+
+def test_entire_harness_deterministic():
+    """Running every experiment twice at small scale yields identical
+    rows, verdicts and notes — the whole harness is a pure function of
+    its seeds."""
+    for name in sorted(ALL_EXPERIMENTS):
+        a = run_experiment(name, **SMALL[name])
+        b = run_experiment(name, **SMALL[name])
+        assert a.rows == b.rows, name
+        assert a.passed == b.passed, name
+        assert a.notes == b.notes, name
+
+
+def test_failed_verdict_renders():
+    result = ExperimentResult(
+        experiment_id="X", title="t", paper_claim="c", rows=[{"a": 1}],
+        passed=False, notes="because",
+    )
+    assert "FAIL" in result.table()
+    assert "because" in result.table()

@@ -1,0 +1,258 @@
+"""Unit tests for repro.workloads.generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.gale_shapley import gale_shapley
+from repro.errors import InvalidParameterError
+from repro.workloads.generators import (
+    GENERATORS,
+    adversarial_gale_shapley,
+    almost_regular,
+    bounded_degree,
+    complete_uniform,
+    euclidean,
+    gnp_incomplete,
+    make_instance,
+    master_list,
+    regular_bipartite,
+)
+
+
+class TestCompleteUniform:
+    def test_shape(self):
+        prefs = complete_uniform(10, seed=0)
+        assert prefs.is_complete()
+        assert prefs.n_men == prefs.n_women == 10
+        assert prefs.num_edges == 100
+
+    def test_deterministic_in_seed(self):
+        assert complete_uniform(8, seed=5) == complete_uniform(8, seed=5)
+        assert complete_uniform(8, seed=5) != complete_uniform(8, seed=6)
+
+    def test_unequal_sides(self):
+        prefs = complete_uniform(4, seed=0, n_women=6)
+        assert prefs.n_men == 4
+        assert prefs.n_women == 6
+        assert prefs.is_complete()
+
+    def test_zero(self):
+        assert complete_uniform(0).num_edges == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            complete_uniform(-1)
+
+
+class TestGnp:
+    def test_extremes(self):
+        assert gnp_incomplete(6, 0.0, seed=0).num_edges == 0
+        assert gnp_incomplete(6, 1.0, seed=0).num_edges == 36
+
+    def test_invalid_p(self):
+        with pytest.raises(InvalidParameterError):
+            gnp_incomplete(4, 1.5)
+
+    def test_edge_count_reasonable(self):
+        prefs = gnp_incomplete(40, 0.25, seed=1)
+        expected = 40 * 40 * 0.25
+        assert 0.5 * expected <= prefs.num_edges <= 1.5 * expected
+
+
+class TestBoundedDegree:
+    def test_men_degree_bound(self):
+        prefs = bounded_degree(20, 4, seed=0)
+        assert all(prefs.deg_man(m) == 4 for m in range(20))
+
+    def test_d_larger_than_n_clamped(self):
+        prefs = bounded_degree(3, 10, seed=0)
+        assert all(prefs.deg_man(m) == 3 for m in range(3))
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            bounded_degree(4, -1)
+
+
+class TestRegularBipartite:
+    def test_both_sides_regular(self):
+        prefs = regular_bipartite(12, 3, seed=0)
+        assert all(prefs.deg_man(m) == 3 for m in range(12))
+        assert all(prefs.deg_woman(w) == 3 for w in range(12))
+        assert prefs.regularity_alpha() == 1.0
+
+    def test_full_degree(self):
+        prefs = regular_bipartite(5, 5, seed=2)
+        assert prefs.is_complete()
+
+    def test_invalid_d(self):
+        with pytest.raises(InvalidParameterError):
+            regular_bipartite(4, 5)
+
+
+class TestAlmostRegular:
+    def test_degree_range(self):
+        prefs = almost_regular(30, 3, 9, seed=1)
+        degs = [prefs.deg_man(m) for m in range(30)]
+        assert min(degs) >= 3 and max(degs) <= 9
+        assert prefs.regularity_alpha() <= 3.0
+
+    def test_invalid_range(self):
+        with pytest.raises(InvalidParameterError):
+            almost_regular(10, 5, 3)
+        with pytest.raises(InvalidParameterError):
+            almost_regular(10, 0, 3)
+
+
+class TestMasterList:
+    def test_zero_noise_identical_lists(self):
+        prefs = master_list(8, noise=0.0, seed=0)
+        first = prefs.man_list(0)
+        assert all(prefs.man_list(m) == first for m in range(8))
+
+    def test_noise_diversifies(self):
+        prefs = master_list(20, noise=2.0, seed=0)
+        lists = {prefs.man_list(m) for m in range(20)}
+        assert len(lists) > 1
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            master_list(5, noise=-0.1)
+
+
+class TestEuclidean:
+    def test_ranks_by_distance(self):
+        prefs = euclidean(15, radius=0.8, seed=3)
+        # Sorted-by-distance lists are produced; spot-check symmetry
+        # (constructor validated it) and determinism.
+        assert prefs == euclidean(15, radius=0.8, seed=3)
+
+    def test_small_radius_sparse(self):
+        sparse = euclidean(30, radius=0.05, seed=0)
+        dense = euclidean(30, radius=1.5, seed=0)
+        assert sparse.num_edges < dense.num_edges
+        assert dense.is_complete()
+
+
+class TestAdversarial:
+    def test_gs_quadratic_proposals(self):
+        n = 12
+        prefs = adversarial_gale_shapley(n)
+        result = gale_shapley(prefs)
+        assert result.proposals == n * (n + 1) // 2
+        # Diagonal matching: man i with woman i.
+        assert all(
+            result.matching.partner_of_man(i) == i for i in range(n)
+        )
+
+
+class TestZipf:
+    def test_complete_and_deterministic(self):
+        from repro.workloads.generators import zipf_popularity
+
+        prefs = zipf_popularity(12, exponent=1.0, seed=0)
+        assert prefs.is_complete()
+        assert prefs == zipf_popularity(12, exponent=1.0, seed=0)
+
+    def test_popular_women_rank_high(self):
+        from repro.workloads.generators import zipf_popularity
+
+        prefs = zipf_popularity(30, exponent=2.0, seed=1)
+        # Woman 0 (highest weight) should average a much better rank
+        # than woman 29 (lowest weight) across men's lists.
+        mean_rank_top = sum(
+            prefs.rank_of_woman(m, 0) for m in range(30)
+        ) / 30
+        mean_rank_bottom = sum(
+            prefs.rank_of_woman(m, 29) for m in range(30)
+        ) / 30
+        assert mean_rank_top < mean_rank_bottom
+
+    def test_zero_exponent_uniformish(self):
+        from repro.workloads.generators import zipf_popularity
+
+        prefs = zipf_popularity(10, exponent=0.0, seed=2)
+        assert prefs.is_complete()
+
+    def test_negative_exponent_rejected(self):
+        from repro.workloads.generators import zipf_popularity
+
+        with pytest.raises(InvalidParameterError):
+            zipf_popularity(5, exponent=-1.0)
+
+
+class TestClustered:
+    def test_in_cluster_denser(self):
+        from repro.workloads.generators import clustered
+
+        prefs = clustered(40, n_clusters=4, p_in=0.8, p_out=0.02, seed=0)
+        in_edges = out_edges = 0
+        for m, w in prefs.iter_edges():
+            if m % 4 == w % 4:
+                in_edges += 1
+            else:
+                out_edges += 1
+        # 10 partners in-cluster vs 30 out: expected ~8 in vs ~0.6 out
+        # per man.
+        assert in_edges > out_edges
+
+    def test_parameter_validation(self):
+        from repro.workloads.generators import clustered
+
+        with pytest.raises(InvalidParameterError):
+            clustered(10, n_clusters=0)
+        with pytest.raises(InvalidParameterError):
+            clustered(10, p_in=1.5)
+        with pytest.raises(InvalidParameterError):
+            clustered(10, p_out=-0.1)
+
+    def test_asm_guarantee_holds_on_clusters(self):
+        from repro.core.asm import asm
+        from repro.analysis.stability import instability
+        from repro.workloads.generators import clustered
+
+        prefs = clustered(24, n_clusters=3, p_in=0.7, p_out=0.05, seed=3)
+        run = asm(prefs, 0.3)
+        assert instability(prefs, run.matching) <= 0.3
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(GENERATORS) == {
+            "complete",
+            "gnp",
+            "bounded",
+            "regular",
+            "almost_regular",
+            "master_list",
+            "euclidean",
+            "zipf",
+            "clustered",
+            "adversarial_gs",
+        }
+
+    def test_make_instance(self):
+        prefs = make_instance("complete", n=5, seed=1)
+        assert prefs == complete_uniform(5, seed=1)
+
+    def test_make_instance_unknown(self):
+        with pytest.raises(InvalidParameterError, match="unknown workload"):
+            make_instance("nope")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    name=st.sampled_from(["complete", "gnp", "bounded"]),
+    n=st.integers(1, 15),
+    seed=st.integers(0, 100),
+)
+def test_generators_deterministic_property(name, n, seed):
+    if name == "complete":
+        a, b = complete_uniform(n, seed), complete_uniform(n, seed)
+    elif name == "gnp":
+        a, b = gnp_incomplete(n, 0.3, seed), gnp_incomplete(n, 0.3, seed)
+    else:
+        a, b = bounded_degree(n, 3, seed), bounded_degree(n, 3, seed)
+    assert a == b

@@ -1,0 +1,129 @@
+"""Tests for file I/O (repro.io) and the CLI generate/--input flow."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.asm import asm
+from repro.core.matching import Matching
+from repro.errors import InvalidPreferencesError
+from repro.io import (
+    FileFormatError,
+    load_matching,
+    load_profile,
+    save_matching,
+    save_profile,
+    save_result,
+)
+from repro.workloads.generators import complete_uniform, gnp_incomplete
+
+
+class TestProfileIO:
+    def test_round_trip(self, tmp_path):
+        prefs = gnp_incomplete(10, 0.4, seed=1)
+        path = tmp_path / "instance.json"
+        save_profile(prefs, path, metadata={"workload": "gnp", "seed": 1})
+        assert load_profile(path) == prefs
+
+    def test_metadata_stored(self, tmp_path):
+        prefs = complete_uniform(4, seed=0)
+        path = tmp_path / "i.json"
+        save_profile(prefs, path, metadata={"note": "hello"})
+        document = json.loads(path.read_text())
+        assert document["metadata"]["note"] == "hello"
+        assert document["kind"] == "preference_profile"
+        assert document["n_men"] == 4
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "m.json"
+        save_matching(Matching([(0, 1)]), path)
+        with pytest.raises(FileFormatError, match="expected kind"):
+            load_profile(path)
+
+    def test_not_json_rejected(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("this is not json")
+        with pytest.raises(FileFormatError, match="not valid JSON"):
+            load_profile(path)
+
+    def test_missing_envelope_rejected(self, tmp_path):
+        path = tmp_path / "plain.json"
+        path.write_text(json.dumps({"men_prefs": [], "women_prefs": []}))
+        with pytest.raises(FileFormatError, match="envelope"):
+            load_profile(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(
+            json.dumps(
+                {"format": "repro", "version": 99,
+                 "kind": "preference_profile", "profile": {}}
+            )
+        )
+        with pytest.raises(FileFormatError, match="version"):
+            load_profile(path)
+
+    def test_corrupt_profile_content_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro",
+                    "version": 1,
+                    "kind": "preference_profile",
+                    "profile": {
+                        "men_prefs": [[0, 0]],
+                        "women_prefs": [[0]],
+                    },
+                }
+            )
+        )
+        with pytest.raises(InvalidPreferencesError):
+            load_profile(path)
+
+
+class TestMatchingIO:
+    def test_round_trip(self, tmp_path):
+        m = Matching([(0, 2), (1, 0)])
+        path = tmp_path / "m.json"
+        save_matching(m, path)
+        assert load_matching(path) == m
+
+    def test_result_file_contains_summary(self, tmp_path):
+        prefs = complete_uniform(8, seed=2)
+        run = asm(prefs, 0.5)
+        path = tmp_path / "r.json"
+        save_result(run, path, metadata={"eps": 0.5})
+        document = json.loads(path.read_text())
+        assert document["kind"] == "asm_result"
+        assert document["result"]["eps"] == 0.5
+        assert Matching.from_dict(
+            document["result"]["matching"]
+        ) == run.matching
+
+
+class TestCliFlow:
+    def test_generate_then_run(self, tmp_path, capsys):
+        out = tmp_path / "inst.json"
+        assert main(
+            ["generate", "--workload", "gnp", "--n", "12", "--seed", "3",
+             "--out", str(out)]
+        ) == 0
+        assert out.exists()
+        capsys.readouterr()
+        assert main(
+            ["run", "--input", str(out), "--eps", "0.5"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "file:" in text
+
+    def test_run_input_matches_direct(self, tmp_path):
+        """Loading from a file gives exactly the directly-generated
+        instance (provenance round trip)."""
+        out = tmp_path / "inst.json"
+        main(["generate", "--workload", "complete", "--n", "10",
+              "--seed", "7", "--out", str(out)])
+        assert load_profile(out) == complete_uniform(10, seed=7)

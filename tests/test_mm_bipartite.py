@@ -1,0 +1,94 @@
+"""Tests for the deterministic bipartite port-order maximal matching."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stability import instability
+from repro.core.asm import asm
+from repro.errors import InvalidParameterError
+from repro.graphs import Graph, bipartite_graph_from_edges
+from repro.mm.bipartite import (
+    ROUNDS_PER_PORT_ROUND,
+    bipartite_port_order_matching,
+)
+from repro.mm.oracles import port_order_oracle
+from repro.mm.verify import is_maximal_matching
+from repro.workloads.generators import complete_uniform, gnp_incomplete
+
+
+def bipartite_from_gnp(n: int, p: float, seed: int) -> Graph:
+    prefs = gnp_incomplete(n, p, seed)
+    return bipartite_graph_from_edges(prefs.iter_edges(), n, n)
+
+
+class TestPortOrder:
+    def test_maximal_on_random_bipartite(self):
+        for seed in range(8):
+            g = bipartite_from_gnp(15, 0.3, seed)
+            result = bipartite_port_order_matching(g)
+            assert is_maximal_matching(g, result.partner)
+
+    def test_empty_graph(self):
+        assert bipartite_port_order_matching(Graph()).size == 0
+
+    def test_rounds_bounded_by_max_degree(self):
+        g = bipartite_from_gnp(20, 0.4, seed=1)
+        result = bipartite_port_order_matching(g)
+        max_deg = max(g.degree(v) for v in g.nodes())
+        assert result.rounds <= max_deg * ROUNDS_PER_PORT_ROUND
+
+    def test_deterministic(self):
+        g = bipartite_from_gnp(12, 0.5, seed=2)
+        assert (
+            bipartite_port_order_matching(g).partner
+            == bipartite_port_order_matching(g).partner
+        )
+
+    def test_non_bipartite_rejected(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 0)  # triangle
+        with pytest.raises(InvalidParameterError, match="bipartite"):
+            bipartite_port_order_matching(g)
+
+    def test_star_graph(self):
+        g = Graph()
+        for leaf in range(1, 6):
+            g.add_edge(("L", 0), ("R", leaf))
+        result = bipartite_port_order_matching(g)
+        assert result.size == 1
+        assert is_maximal_matching(g, result.partner)
+
+    def test_disconnected_components(self):
+        g = Graph()
+        g.add_edge("a1", "b1")
+        g.add_edge("a2", "b2")
+        g.add_node("iso")
+        result = bipartite_port_order_matching(g)
+        assert result.size == 2
+
+
+class TestAsOracleInASM:
+    def test_asm_guarantee_with_port_order(self):
+        prefs = complete_uniform(20, seed=0)
+        run = asm(prefs, 0.3, mm_oracle=port_order_oracle())
+        assert instability(prefs, run.matching) <= 0.3
+
+    def test_asm_incomplete_with_port_order(self):
+        prefs = gnp_incomplete(16, 0.4, seed=3)
+        run = asm(prefs, 0.4, mm_oracle=port_order_oracle(),
+                  check_invariants=True)
+        run.matching.validate_against(prefs)
+        assert instability(prefs, run.matching) <= 0.4
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(0, 14), p=st.floats(0, 0.8), seed=st.integers(0, 50))
+def test_port_order_always_maximal_property(n, p, seed):
+    g = bipartite_from_gnp(n, p, seed)
+    result = bipartite_port_order_matching(g)
+    assert is_maximal_matching(g, result.partner)

@@ -1,0 +1,77 @@
+"""Unit tests for repro.mm.verify (Definitions 3 and 4)."""
+
+from __future__ import annotations
+
+from repro.graphs import Graph
+from repro.mm.verify import (
+    is_almost_maximal_matching,
+    is_maximal_matching,
+    is_valid_matching,
+    violating_vertices,
+)
+
+
+def path_graph(n: int) -> Graph:
+    g = Graph()
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+class TestValidity:
+    def test_empty_matching_valid(self):
+        assert is_valid_matching(path_graph(4), {})
+
+    def test_symmetric_edge_valid(self):
+        assert is_valid_matching(path_graph(4), {0: 1, 1: 0})
+
+    def test_asymmetric_invalid(self):
+        assert not is_valid_matching(path_graph(4), {0: 1})
+
+    def test_self_match_invalid(self):
+        g = path_graph(3)
+        assert not is_valid_matching(g, {0: 0})
+
+    def test_non_edge_invalid(self):
+        assert not is_valid_matching(path_graph(4), {0: 2, 2: 0})
+
+
+class TestMaximality:
+    def test_path4_middle_edge_maximal(self):
+        # 0-1-2-3 with {1,2} matched: 0 and 3 have no unmatched neighbor.
+        assert is_maximal_matching(path_graph(4), {1: 2, 2: 1})
+
+    def test_path4_end_edge_not_maximal(self):
+        # {0,1} matched leaves edge {2,3} unmatched.
+        g = path_graph(4)
+        assert not is_maximal_matching(g, {0: 1, 1: 0})
+        assert set(violating_vertices(g, {0: 1, 1: 0})) == {2, 3}
+
+    def test_empty_graph_empty_matching_maximal(self):
+        assert is_maximal_matching(Graph(), {})
+
+    def test_isolated_vertices_dont_violate(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_edge("b", "c")
+        assert is_maximal_matching(g, {"b": "c", "c": "b"})
+
+    def test_invalid_matching_never_maximal(self):
+        assert not is_maximal_matching(path_graph(2), {0: 1})
+
+
+class TestAlmostMaximality:
+    def test_eta_threshold(self):
+        g = path_graph(4)
+        partner = {0: 1, 1: 0}  # 2 of 4 vertices violate
+        assert is_almost_maximal_matching(g, partner, eta=0.5)
+        assert not is_almost_maximal_matching(g, partner, eta=0.4)
+
+    def test_maximal_is_always_almost_maximal(self):
+        g = path_graph(5)
+        partner = {0: 1, 1: 0, 2: 3, 3: 2}
+        assert is_maximal_matching(g, partner)
+        assert is_almost_maximal_matching(g, partner, eta=0.0)
+
+    def test_invalid_matching_rejected(self):
+        assert not is_almost_maximal_matching(path_graph(2), {0: 1}, eta=1.0)

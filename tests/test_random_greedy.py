@@ -1,0 +1,42 @@
+"""Tests for the random greedy baseline."""
+
+from __future__ import annotations
+
+from repro.baselines.random_greedy import random_greedy_matching
+from repro.core.preferences import PreferenceProfile
+from repro.workloads.generators import complete_uniform, gnp_incomplete
+
+
+class TestRandomGreedy:
+    def test_output_is_valid_matching(self):
+        prefs = gnp_incomplete(15, 0.3, seed=2)
+        result = random_greedy_matching(prefs, seed=1)
+        result.matching.validate_against(prefs)
+
+    def test_maximal_on_communication_graph(self):
+        """Every remaining edge has a matched endpoint."""
+        prefs = gnp_incomplete(15, 0.3, seed=2)
+        matching = random_greedy_matching(prefs, seed=3).matching
+        for m, w in prefs.iter_edges():
+            assert matching.is_man_matched(m) or matching.is_woman_matched(w)
+
+    def test_complete_graph_perfect(self):
+        prefs = complete_uniform(10, seed=0)
+        assert len(random_greedy_matching(prefs, seed=1).matching) == 10
+
+    def test_deterministic_in_seed(self):
+        prefs = complete_uniform(10, seed=0)
+        a = random_greedy_matching(prefs, seed=5).matching
+        b = random_greedy_matching(prefs, seed=5).matching
+        assert a == b
+
+    def test_different_seeds_usually_differ(self):
+        prefs = complete_uniform(12, seed=0)
+        matchings = {
+            random_greedy_matching(prefs, seed=s).matching for s in range(5)
+        }
+        assert len(matchings) > 1
+
+    def test_empty(self):
+        prefs = PreferenceProfile([], [])
+        assert len(random_greedy_matching(prefs).matching) == 0

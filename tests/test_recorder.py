@@ -1,0 +1,130 @@
+"""Tests for the CONGEST message recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.message import Message
+from repro.congest.recorder import MessageEvent, MessageRecorder
+from repro.congest.simulator import Simulator
+from repro.graphs import Graph
+
+
+def ping_pong_setup(recorder):
+    """Two nodes: a pings for 3 rounds, b pongs back."""
+    g = Graph()
+    g.add_edge("a", "b")
+
+    def pinger():
+        for _ in range(3):
+            yield {"b": Message("PING")}
+        yield {}
+
+    def ponger_responsive():
+        outbox = {}
+        for _ in range(4):
+            inbox = yield outbox
+            outbox = (
+                {"a": Message("PONG", (1,))}
+                if any(m.kind == "PING" for m in inbox.values())
+                else {}
+            )
+        return None
+
+    sim = Simulator(
+        g, {"a": pinger(), "b": ponger_responsive()}, recorder=recorder
+    )
+    sim.run()
+    return sim
+
+
+class TestRecorder:
+    def test_records_all_messages(self):
+        rec = MessageRecorder()
+        sim = ping_pong_setup(rec)
+        assert rec.total_messages == sim.stats.messages
+        assert rec.counts_by_kind["PING"] == 3
+        assert rec.counts_by_kind["PONG"] == 3
+        assert len(rec.events) == 6
+
+    def test_event_fields(self):
+        rec = MessageRecorder()
+        ping_pong_setup(rec)
+        first = rec.events[0]
+        assert isinstance(first, MessageEvent)
+        assert first.kind == "PING"
+        assert first.sender == "a" and first.recipient == "b"
+        assert first.round == 1
+
+    def test_kind_filter_keeps_aggregates(self):
+        rec = MessageRecorder(kinds=["PONG"])
+        ping_pong_setup(rec)
+        assert all(e.kind == "PONG" for e in rec.events)
+        assert rec.counts_by_kind["PING"] == 3  # aggregate still counted
+
+    def test_bounded_buffer_drops_oldest(self):
+        rec = MessageRecorder(max_events=2)
+        ping_pong_setup(rec)
+        assert len(rec.events) == 2
+        assert rec.dropped_events == 4
+        assert rec.total_messages == 6
+
+    def test_events_for_node(self):
+        rec = MessageRecorder()
+        ping_pong_setup(rec)
+        assert len(rec.events_for("a", role="sender")) == 3
+        assert len(rec.events_for("a", role="recipient")) == 3
+        assert len(rec.events_for("a")) == 6
+        with pytest.raises(ValueError):
+            rec.events_for("a", role="nonsense")
+
+    def test_busiest_round(self):
+        rec = MessageRecorder()
+        ping_pong_setup(rec)
+        assert rec.busiest_round() in rec.counts_by_round
+        assert MessageRecorder().busiest_round() is None
+
+    def test_tables(self):
+        rec = MessageRecorder()
+        ping_pong_setup(rec)
+        seq = rec.sequence_table(limit=3)
+        assert "message sequence" in seq
+        assert "more recorded events" in seq
+        rows = rec.summary_rows()
+        assert {"kind": "PING", "messages": 3} in rows
+
+    def test_attached_to_congest_asm(self):
+        """A recorder on a full ASM protocol run sees the algorithm's
+        message kinds with consistent totals."""
+        from repro.congest.protocols.asm_protocol import run_congest_asm
+        from repro.workloads.generators import complete_uniform
+
+        rec = MessageRecorder()
+        prefs = complete_uniform(5, seed=1)
+        result = run_congest_asm(
+            prefs,
+            0.5,
+            k=3,
+            inner_iterations=3,
+            outer_iterations=2,
+            mm_iterations=10,
+            recorder=rec,
+        )
+        assert rec.total_messages == result.stats.messages
+        assert rec.counts_by_kind["PROPOSE"] > 0
+        assert rec.counts_by_kind["ACCEPT"] > 0
+        assert "MM_POINT" in rec.counts_by_kind
+
+    def test_minimal_protocol_plumbing(self):
+        rec = MessageRecorder()
+        g = Graph()
+        g.add_edge("x", "y")
+
+        def talk():
+            yield {"y": Message("PROPOSE")}
+
+        def listen():
+            yield {}
+
+        Simulator(g, {"x": talk(), "y": listen()}, recorder=rec).run()
+        assert rec.counts_by_kind["PROPOSE"] == 1

@@ -1,0 +1,59 @@
+"""Tests for repro.core.rounds (round accounting and cost models)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.rounds import (
+    ActualCost,
+    FixedCost,
+    HKPCost,
+    MMCostModel,
+    RoundCounter,
+)
+from repro.mm.result import MMResult
+
+
+class TestCostModels:
+    def test_actual_cost(self):
+        model = ActualCost()
+        assert model.charge(100, MMResult(partner={}, rounds=17)) == 17
+        assert model.charge(100, None) == 0
+
+    def test_hkp_cost_log4(self):
+        model = HKPCost()
+        assert model.charge(1024, None) == math.ceil(math.log2(1024) ** 4)
+        assert model.charge(0, None) == 1
+        assert model.charge(2, None) == 1
+
+    def test_hkp_constant(self):
+        assert HKPCost(constant=2.0).charge(1024, None) == 2 * 10 ** 4
+
+    def test_fixed_cost(self):
+        model = FixedCost(42)
+        assert model.charge(5, None) == 42
+        assert model.charge(10**9, MMResult(partner={}, rounds=1)) == 42
+
+    def test_abstract_base(self):
+        with pytest.raises(NotImplementedError):
+            MMCostModel().charge(1, None)
+
+    def test_names(self):
+        assert ActualCost().name == "actual"
+        assert HKPCost().name == "hkp"
+        assert FixedCost(1).name == "fixed"
+
+
+class TestRoundCounter:
+    def test_accumulates_by_category(self):
+        c = RoundCounter()
+        c.charge_active(3, "a")
+        c.charge_active(2, "a")
+        c.charge_active(1, "b")
+        c.charge_scheduled(10, "a")
+        assert c.rounds_active == 6
+        assert c.rounds_scheduled == 10
+        assert c.by_category_active == {"a": 5, "b": 1}
+        assert c.by_category_scheduled == {"a": 10}

@@ -1,0 +1,67 @@
+"""Moderate-scale smoke tests: the library at realistic sizes.
+
+These runs take ~0.1–2 s each and guard against both correctness and
+performance regressions at sizes the benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.stability import instability
+from repro.baselines.gale_shapley import gale_shapley
+from repro.core.asm import asm
+from repro.core.almost_regular import almost_regular_asm
+from repro.core.rand_asm import rand_asm
+from repro.workloads.generators import (
+    complete_uniform,
+    euclidean,
+    gnp_incomplete,
+)
+
+
+class TestScale:
+    def test_asm_complete_512(self):
+        prefs = complete_uniform(512, seed=0)
+        t0 = time.time()
+        run = asm(prefs, 0.2)
+        elapsed = time.time() - t0
+        assert instability(prefs, run.matching) <= 0.2
+        assert len(run.matching) == 512
+        assert elapsed < 30.0  # generous CI budget; ~2-4s locally
+
+    def test_asm_sparse_1024(self):
+        prefs = gnp_incomplete(1024, 0.02, seed=1)
+        run = asm(prefs, 0.25)
+        assert instability(prefs, run.matching) <= 0.25
+
+    def test_rand_asm_256(self):
+        prefs = complete_uniform(256, seed=2)
+        run = rand_asm(prefs, 0.25, seed=3)
+        assert instability(prefs, run.matching) <= 0.25
+
+    def test_almost_regular_512(self):
+        prefs = complete_uniform(512, seed=4)
+        run = almost_regular_asm(prefs, 0.3, seed=5)
+        assert instability(prefs, run.matching) <= 0.3
+        # Theorem 6: the schedule is the same one the n=32 case gets.
+        small = almost_regular_asm(complete_uniform(32, seed=4), 0.3, seed=5)
+        assert run.rounds_scheduled == small.rounds_scheduled
+
+    def test_gale_shapley_1024(self):
+        prefs = complete_uniform(1024, seed=6)
+        result = gale_shapley(prefs)
+        assert len(result.matching) == 1024
+
+    def test_euclidean_large_sparse(self):
+        prefs = euclidean(600, seed=7)
+        run = asm(prefs, 0.25)
+        run.matching.validate_against(prefs)
+        assert instability(prefs, run.matching) <= 0.25
+
+    def test_tight_eps_moderate_n(self):
+        """eps = 0.05 means k = 160 quantiles; the engine must stay
+        responsive and within bound."""
+        prefs = complete_uniform(128, seed=8)
+        run = asm(prefs, 0.05)
+        assert instability(prefs, run.matching) <= 0.05

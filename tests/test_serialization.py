@@ -1,0 +1,78 @@
+"""Tests for serialization helpers and the side-swap utility."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.stability import instability, is_stable
+from repro.baselines.gale_shapley import gale_shapley
+from repro.core.asm import asm
+from repro.core.matching import Matching
+from repro.workloads.generators import complete_uniform, gnp_incomplete
+
+
+class TestMatchingSerialization:
+    def test_round_trip_dict(self):
+        m = Matching([(0, 3), (2, 1)])
+        assert Matching.from_dict(m.to_dict()) == m
+
+    def test_round_trip_json(self):
+        m = Matching([(5, 0)])
+        assert Matching.from_json(m.to_json()) == m
+
+    def test_empty(self):
+        assert Matching.from_json(Matching().to_json()) == Matching()
+
+    def test_dict_is_json_safe(self):
+        json.dumps(Matching([(1, 2)]).to_dict())
+
+
+class TestASMResultSerialization:
+    def test_to_dict_round_trips_through_json(self):
+        prefs = gnp_incomplete(12, 0.5, seed=0)
+        run = asm(prefs, 0.3)
+        payload = json.loads(json.dumps(run.to_dict()))
+        assert payload["eps"] == 0.3
+        assert payload["n_men"] == 12
+        assert Matching.from_dict(payload["matching"]) == run.matching
+        assert sorted(run.good_men) == payload["good_men"]
+        assert payload["rounds_active"] == run.rounds_active
+        assert payload["synchronous_time"] == run.synchronous_time
+
+    def test_message_counts_in_payload(self):
+        prefs = complete_uniform(10, seed=1)
+        payload = asm(prefs, 0.5).to_dict()
+        msgs = payload["messages"]
+        assert msgs["proposes"] > 0
+
+
+class TestSwapSides:
+    def test_swap_structure(self):
+        prefs = gnp_incomplete(10, 0.4, seed=2)
+        swapped = prefs.swap_sides()
+        assert swapped.n_men == prefs.n_women
+        assert swapped.n_women == prefs.n_men
+        assert swapped.num_edges == prefs.num_edges
+        for m, w in prefs.iter_edges():
+            assert swapped.acceptable_to_man(w, m)
+
+    def test_double_swap_identity(self):
+        prefs = gnp_incomplete(8, 0.5, seed=3)
+        assert prefs.swap_sides().swap_sides() == prefs
+
+    def test_women_proposing_gale_shapley(self):
+        """GS on the swapped profile = woman-optimal stable matching of
+        the original; it is stable for the original too."""
+        prefs = complete_uniform(8, seed=4)
+        swapped_result = gale_shapley(prefs.swap_sides())
+        # Translate back: pairs are (woman, man) in the swapped world.
+        translated = Matching(
+            (w_partner, m_as_woman)
+            for m_as_woman, w_partner in swapped_result.matching.pairs()
+        )
+        assert is_stable(prefs, translated)
+
+    def test_women_proposing_asm_guarantee(self):
+        prefs = complete_uniform(16, seed=5)
+        run = asm(prefs.swap_sides(), 0.3)
+        assert instability(prefs.swap_sides(), run.matching) <= 0.3

@@ -1,0 +1,219 @@
+"""Unit tests for repro.analysis.stability (Definitions 1 and 2)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stability import (
+    blocking_pair_gaps,
+    blocking_pairs_incident_to_men,
+    count_blocking_pairs,
+    find_blocking_pairs,
+    find_eps_blocking_pairs,
+    instability,
+    is_blocking_pair,
+    is_eps_blocking_pair,
+    is_eps_blocking_stable,
+    is_one_minus_eps_stable,
+    is_stable,
+    rank_or_unmatched_man,
+    rank_or_unmatched_woman,
+    stability_report,
+)
+from repro.baselines.gale_shapley import gale_shapley
+from repro.core.matching import Matching
+from repro.core.preferences import PreferenceProfile
+from repro.workloads.generators import complete_uniform, gnp_incomplete
+
+
+def two_by_two():
+    """2x2 instance: both men prefer w0; both women prefer m0."""
+    return PreferenceProfile(
+        men_prefs=[[0, 1], [0, 1]],
+        women_prefs=[[0, 1], [0, 1]],
+    )
+
+
+class TestBlockingPairs:
+    def test_empty_matching_every_edge_blocks(self):
+        prefs = two_by_two()
+        pairs = find_blocking_pairs(prefs, Matching())
+        assert set(pairs) == set(prefs.edges())
+        assert instability(prefs, Matching()) == 1.0
+
+    def test_stable_assignment(self):
+        prefs = two_by_two()
+        m = Matching([(0, 0), (1, 1)])
+        assert is_stable(prefs, m)
+        assert count_blocking_pairs(prefs, m) == 0
+        assert instability(prefs, m) == 0.0
+
+    def test_unstable_swap(self):
+        prefs = two_by_two()
+        m = Matching([(0, 1), (1, 0)])
+        # m0 and w0 prefer each other to their partners.
+        assert find_blocking_pairs(prefs, m) == [(0, 0)]
+        assert is_blocking_pair(prefs, m, 0, 0)
+        assert not is_blocking_pair(prefs, m, 1, 1)
+
+    def test_matched_pair_never_blocks(self):
+        prefs = two_by_two()
+        m = Matching([(0, 0)])
+        assert not is_blocking_pair(prefs, m, 0, 0)
+
+    def test_non_edge_never_blocks(self):
+        prefs = PreferenceProfile([[0], []], [[0], []])
+        assert not is_blocking_pair(prefs, Matching(), 1, 1)
+
+    def test_unmatched_convention(self):
+        # Unmatched players prefer any acceptable partner.
+        prefs = PreferenceProfile([[0]], [[0]])
+        assert rank_or_unmatched_man(prefs, Matching(), 0) == 2
+        assert rank_or_unmatched_woman(prefs, Matching(), 0) == 2
+        assert is_blocking_pair(prefs, Matching(), 0, 0)
+
+    def test_incident_to_men_filter(self):
+        prefs = two_by_two()
+        pairs = blocking_pairs_incident_to_men(prefs, Matching(), {1})
+        assert all(m == 1 for m, _ in pairs)
+        assert len(pairs) == 2
+
+    def test_one_minus_eps_stable(self):
+        prefs = two_by_two()  # |E| = 4
+        m = Matching([(0, 1), (1, 0)])  # exactly 1 blocking pair
+        assert is_one_minus_eps_stable(prefs, m, 0.25)
+        assert not is_one_minus_eps_stable(prefs, m, 0.2)
+
+
+class TestEpsBlocking:
+    def test_definition_two_thresholds(self):
+        # Man 0 ranks 4 women; matched to his last choice.
+        prefs = PreferenceProfile(
+            men_prefs=[[0, 1, 2, 3]],
+            women_prefs=[[0], [0], [0], [0]],
+        )
+        m = Matching([(0, 3)])
+        # Gap for woman 0: P_m(p) - P_m(w0) = 4 - 1 = 3 >= eps*4 for eps<=0.75;
+        # woman 0 unmatched: gap = 2 - 1 = 1 >= eps*1 for eps<=1.
+        assert is_eps_blocking_pair(prefs, m, 0, 0, 0.75)
+        assert not is_eps_blocking_pair(prefs, m, 0, 0, 0.8)
+
+    def test_matched_pair_not_eps_blocking(self):
+        prefs = two_by_two()
+        m = Matching([(0, 0)])
+        assert not is_eps_blocking_pair(prefs, m, 0, 0, 0.1)
+
+    def test_eps_blocking_subset_of_blocking(self):
+        prefs = complete_uniform(10, seed=3)
+        m = Matching([(i, i) for i in range(10)])
+        blocking = set(find_blocking_pairs(prefs, m))
+        for eps in (0.1, 0.3, 0.5):
+            eps_pairs = set(find_eps_blocking_pairs(prefs, m, eps))
+            assert eps_pairs <= blocking
+
+    def test_eps_blocking_monotone_in_eps(self):
+        prefs = complete_uniform(12, seed=9)
+        m = Matching([(i, (i + 1) % 12) for i in range(12)])
+        prev = None
+        for eps in (0.05, 0.1, 0.2, 0.4, 0.8):
+            cur = len(find_eps_blocking_pairs(prefs, m, eps))
+            if prev is not None:
+                assert cur <= prev
+            prev = cur
+
+    def test_zero_eps_equals_blocking(self):
+        # eps=0 thresholds reduce to "strictly prefer" (gap >= 0 is
+        # implied by gap >= 1 for integer ranks with strict preference)
+        prefs = complete_uniform(8, seed=1)
+        m = Matching([(i, i) for i in range(8)])
+        # every blocking pair has positive gaps, so it is 1/n-blocking
+        eps = 1.0 / 8
+        blocking = set(find_blocking_pairs(prefs, m))
+        eps_pairs = set(find_eps_blocking_pairs(prefs, m, eps))
+        assert eps_pairs == blocking
+
+    def test_is_eps_blocking_stable(self):
+        prefs = two_by_two()
+        stable = Matching([(0, 0), (1, 1)])
+        assert is_eps_blocking_stable(prefs, stable, 0.01)
+
+
+class TestBlockingPairGaps:
+    def test_gaps_computed(self):
+        prefs = two_by_two()
+        m = Matching([(0, 1), (1, 0)])
+        gaps = blocking_pair_gaps(prefs, m)
+        assert len(gaps) == 1
+        (pair, gm, gw) = gaps[0]
+        assert pair == (0, 0)
+        # both matched to their 2nd choice; candidate is 1st: gap 1/2.
+        assert gm == 0.5 and gw == 0.5
+
+    def test_eps_blocking_iff_both_gaps_large(self):
+        prefs = complete_uniform(10, seed=4)
+        m = Matching([(i, (i + 3) % 10) for i in range(10)])
+        eps = 0.3
+        from_gaps = {
+            pair
+            for pair, gm, gw in blocking_pair_gaps(prefs, m)
+            if gm >= eps and gw >= eps
+        }
+        assert from_gaps == set(find_eps_blocking_pairs(prefs, m, eps))
+
+    def test_asm_blocking_pairs_are_shallow(self):
+        """Lemmas 3-4 visualized: every blocking pair of ASM's output
+        that touches a good man has min normalized gap < 2/k."""
+        from repro.core.asm import asm
+
+        for seed in range(4):
+            prefs = complete_uniform(24, seed=seed)
+            run = asm(prefs, 0.4)
+            for (m, _w), gm, gw in blocking_pair_gaps(prefs, run.matching):
+                if m in run.good_men:
+                    assert min(gm, gw) < 2.0 / run.k
+
+
+class TestStabilityReport:
+    def test_report_fields(self):
+        prefs = two_by_two()
+        m = Matching([(0, 1), (1, 0)])
+        rep = stability_report(prefs, m, eps=0.25)
+        assert rep.matching_size == 2
+        assert rep.num_edges == 4
+        assert rep.blocking_pairs == 1
+        assert rep.instability == 0.25
+        assert rep.blocking_vs_matching == 0.5
+        assert rep.eps_blocking_pairs is not None
+
+    def test_report_empty_matching(self):
+        prefs = two_by_two()
+        rep = stability_report(prefs, Matching())
+        assert rep.blocking_vs_matching == math.inf
+        assert rep.eps_blocking_pairs is None
+
+    def test_report_empty_graph(self):
+        prefs = PreferenceProfile([[]], [[]])
+        rep = stability_report(prefs, Matching())
+        assert rep.instability == 0.0
+        assert rep.blocking_vs_matching == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(1, 10), seed=st.integers(0, 200))
+def test_gale_shapley_always_stable_property(n, seed):
+    """Classical guarantee: GS output has zero blocking pairs."""
+    prefs = complete_uniform(n, seed=seed)
+    result = gale_shapley(prefs)
+    assert is_stable(prefs, result.matching)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(1, 10), p=st.floats(0.1, 1.0), seed=st.integers(0, 200))
+def test_gale_shapley_stable_incomplete_property(n, p, seed):
+    prefs = gnp_incomplete(n, p, seed=seed)
+    result = gale_shapley(prefs)
+    result.matching.validate_against(prefs)
+    assert is_stable(prefs, result.matching)

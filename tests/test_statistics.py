@@ -1,0 +1,147 @@
+"""Tests for repro.analysis.statistics."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.statistics import (
+    Summary,
+    bootstrap_ci,
+    geometric_decay_rate,
+    linear_fit,
+    loglog_slope,
+    mean,
+    quantile,
+    stdev,
+    summarize,
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_stdev(self):
+        assert stdev([5]) == 0.0
+        assert stdev([]) == 0.0
+        assert math.isclose(stdev([2, 4, 4, 4, 5, 5, 7, 9]), 2.138, rel_tol=1e-3)
+
+    def test_quantile(self):
+        assert quantile([], 0.5) == 0.0
+        assert quantile([7], 0.9) == 7
+        assert quantile([1, 2, 3, 4], 0.0) == 1
+        assert quantile([1, 2, 3, 4], 1.0) == 4
+        assert quantile([1, 2, 3], 0.5) == 2
+
+    def test_summarize(self):
+        s = summarize([3, 1, 2])
+        assert s == Summary(n=3, mean=2.0, stdev=1.0, min=1, median=2, max=3)
+
+    def test_summarize_empty(self):
+        assert summarize([]).n == 0
+
+
+class TestFits:
+    def test_linear_fit_exact(self):
+        a, b = linear_fit([0, 1, 2], [1, 3, 5])
+        assert math.isclose(a, 2.0)
+        assert math.isclose(b, 1.0)
+
+    def test_linear_fit_degenerate(self):
+        a, b = linear_fit([1], [5])
+        assert a == 0.0 and b == 5.0
+        a, b = linear_fit([2, 2, 2], [1, 2, 3])
+        assert a == 0.0
+
+    def test_loglog_slope_linear(self):
+        ns = [10, 100, 1000]
+        assert math.isclose(loglog_slope(ns, ns), 1.0, abs_tol=1e-9)
+
+    def test_loglog_slope_quadratic(self):
+        ns = [10, 100, 1000]
+        assert math.isclose(
+            loglog_slope(ns, [n * n for n in ns]), 2.0, abs_tol=1e-9
+        )
+
+    def test_loglog_slope_polylog_shrinks(self):
+        """A polylog curve's fitted degree falls toward 0 as n grows
+        (5/ln(n) analytically), unlike any true polynomial."""
+        small_ns = [2 ** i for i in range(4, 12)]
+        large_ns = [2 ** i for i in range(20, 28)]
+        poly5 = lambda ns: [math.log2(n) ** 5 for n in ns]  # noqa: E731
+        assert loglog_slope(large_ns, poly5(large_ns)) < 0.45
+        assert loglog_slope(large_ns, poly5(large_ns)) < loglog_slope(
+            small_ns, poly5(small_ns)
+        )
+
+    def test_loglog_slope_skips_nonpositive(self):
+        assert loglog_slope([1, 10], [0, 5]) == 0.0
+
+
+class TestDecay:
+    def test_clean_geometric(self):
+        # 100 -> 50 -> 25: rate 0.5
+        assert math.isclose(geometric_decay_rate([100, 50, 25]), 0.5)
+
+    def test_reaching_zero_counts_as_one(self):
+        # 100 -> 0 in one step: (1/100)^(1/1)
+        assert math.isclose(geometric_decay_rate([100, 0]), 0.01)
+
+    def test_stops_at_first_zero(self):
+        assert math.isclose(
+            geometric_decay_rate([64, 8, 0, 0, 0]),
+            (1 / 64) ** (1 / 2),
+        )
+
+    def test_degenerate(self):
+        assert geometric_decay_rate([]) == 1.0
+        assert geometric_decay_rate([5]) == 1.0
+        assert geometric_decay_rate([0, 0]) == 1.0
+
+
+class TestBootstrap:
+    def test_interval_contains_sample_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        lo, hi = bootstrap_ci(values, seed=1)
+        assert lo <= mean(values) <= hi
+
+    def test_deterministic(self):
+        values = [0.1, 0.5, 0.9, 0.3]
+        assert bootstrap_ci(values, seed=7) == bootstrap_ci(values, seed=7)
+
+    def test_degenerate_inputs(self):
+        assert bootstrap_ci([]) == (0.0, 0.0)
+        assert bootstrap_ci([3.0]) == (3.0, 3.0)
+
+    def test_tighter_with_more_data(self):
+        import random
+
+        rng = random.Random(0)
+        small = [rng.gauss(0, 1) for _ in range(5)]
+        big = [rng.gauss(0, 1) for _ in range(200)]
+        lo_s, hi_s = bootstrap_ci(small, seed=2)
+        lo_b, hi_b = bootstrap_ci(big, seed=2)
+        assert (hi_b - lo_b) < (hi_s - lo_s)
+
+    def test_invalid_confidence(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30))
+def test_mean_within_bounds(xs):
+    assert min(xs) - 1e-6 <= mean(xs) <= max(xs) + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(-100, 100), min_size=2, max_size=20))
+def test_bootstrap_within_sample_range(xs):
+    lo, hi = bootstrap_ci(xs, iterations=200, seed=0)
+    assert min(xs) - 1e-9 <= lo <= hi <= max(xs) + 1e-9

@@ -1,0 +1,47 @@
+"""Tests for repro.analysis.tables."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table, format_value
+
+
+class TestFormatValue:
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_float_formats(self):
+        assert format_value(0.0) == "0"
+        assert format_value(0.5) == "0.5"
+        assert format_value(123456.0) == "1.235e+05"
+        assert format_value(1e-6) == "1.000e-06"
+
+    def test_passthrough(self):
+        assert format_value(42) == "42"
+        assert format_value("x") == "x"
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+        assert format_table([], title="t") == "t\n(no rows)"
+
+    def test_alignment_and_rule(self):
+        out = format_table([{"n": 8, "value": 0.25}, {"n": 128, "value": 1.0}])
+        lines = out.splitlines()
+        assert lines[0].startswith("n")
+        assert set(lines[1]) <= {"-", "+"}
+        assert len(lines) == 4
+
+    def test_missing_cells_dash(self):
+        out = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "-" in out.splitlines()[2]
+
+    def test_title(self):
+        out = format_table([{"a": 1}], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_explicit_columns_order(self):
+        out = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = out.splitlines()[0]
+        assert header.index("b") < header.index("a")

@@ -1,0 +1,85 @@
+"""Tests for the TraceObserver timeline instrumentation."""
+
+from __future__ import annotations
+
+from repro.analysis.trace import ProposalRoundRecord, TraceObserver
+from repro.core.asm import asm
+from repro.core.rand_asm import rand_asm
+from repro.workloads.generators import complete_uniform, gnp_incomplete
+
+
+class TestTraceObserver:
+    def test_records_proposal_rounds(self):
+        trace = TraceObserver()
+        run = asm(complete_uniform(16, seed=0), eps=0.5, observer=trace)
+        assert len(trace.proposal_rounds) == run.proposal_rounds_executed
+        assert all(
+            isinstance(r, ProposalRoundRecord) for r in trace.proposal_rounds
+        )
+
+    def test_matching_size_monotone(self):
+        """Lemma 1 seen through the trace: |M| never decreases."""
+        trace = TraceObserver()
+        asm(gnp_incomplete(20, 0.4, seed=1), eps=0.3, observer=trace)
+        sizes = [r.matching_size for r in trace.proposal_rounds]
+        assert sizes == sorted(sizes)
+
+    def test_good_men_monotone(self):
+        """Good men never become bad (Lemma 6's proof observation)."""
+        trace = TraceObserver()
+        asm(complete_uniform(20, seed=2), eps=0.4, observer=trace)
+        goods = [r.good_men for r in trace.proposal_rounds]
+        assert goods == sorted(goods)
+
+    def test_quantile_match_boundaries(self):
+        trace = TraceObserver()
+        run = asm(complete_uniform(12, seed=3), eps=0.5, observer=trace)
+        assert (
+            len(trace.quantile_match_boundaries)
+            == run.quantile_match_calls_executed
+        )
+        assert trace.quantile_match_boundaries == sorted(
+            trace.quantile_match_boundaries
+        )
+
+    def test_outer_iteration_stats(self):
+        trace = TraceObserver()
+        run = asm(complete_uniform(12, seed=3), eps=0.5, observer=trace)
+        assert len(trace.outer_iterations) == len(run.outer_iterations)
+
+    def test_records_and_table(self):
+        trace = TraceObserver()
+        asm(complete_uniform(12, seed=4), eps=0.5, observer=trace)
+        records = trace.records()
+        assert records and isinstance(records[0], dict)
+        text = trace.timeline_table(max_rows=3)
+        assert "timeline" in text
+        if len(trace.proposal_rounds) > 3:
+            assert "more rounds" in text
+
+    def test_convergence_summary(self):
+        trace = TraceObserver()
+        asm(complete_uniform(16, seed=5), eps=0.3, observer=trace)
+        summary = trace.convergence_summary()
+        assert summary["final_matching_size"] == 16
+        assert 1 <= summary["rounds_to_90pct_matched"] <= summary[
+            "proposal_rounds"
+        ]
+        assert summary["total_proposals"] > 0
+
+    def test_empty_trace_summary(self):
+        summary = TraceObserver().convergence_summary()
+        assert summary["proposal_rounds"] == 0
+        assert summary["rounds_to_90pct_matched"] is None
+
+    def test_observer_does_not_change_behavior(self):
+        prefs = gnp_incomplete(16, 0.5, seed=7)
+        plain = asm(prefs, 0.3)
+        traced = asm(prefs, 0.3, observer=TraceObserver())
+        assert plain.matching == traced.matching
+        assert plain.rounds_active == traced.rounds_active
+
+    def test_works_with_rand_asm(self):
+        trace = TraceObserver()
+        rand_asm(complete_uniform(12, seed=6), 0.4, seed=1, observer=trace)
+        assert trace.proposal_rounds

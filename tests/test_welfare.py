@@ -1,0 +1,84 @@
+"""Tests for the rank-welfare analysis extension."""
+
+from __future__ import annotations
+
+from repro.analysis.stability import is_stable
+from repro.analysis.welfare import (
+    mean_rank_men,
+    mean_rank_women,
+    welfare_report,
+    woman_optimal_matching,
+)
+from repro.baselines.gale_shapley import gale_shapley
+from repro.core.asm import asm
+from repro.core.matching import Matching
+from repro.core.preferences import PreferenceProfile
+from repro.workloads.generators import complete_uniform, gnp_incomplete
+
+
+class TestMeanRanks:
+    def test_perfect_first_choices(self, tiny_prefs):
+        m = Matching([(0, 0), (1, 1), (2, 2)])  # every man's top pick
+        assert mean_rank_men(tiny_prefs, m) == 1.0
+        # In the rotated instance every woman got her last choice.
+        assert mean_rank_women(tiny_prefs, m) == 3.0
+
+    def test_unmatched_counts_as_worst(self):
+        prefs = PreferenceProfile([[0, 1]], [[0], [0]])
+        assert mean_rank_men(prefs, Matching()) == 3.0  # deg + 1
+
+    def test_isolated_players_excluded(self):
+        prefs = PreferenceProfile([[0], []], [[0]])
+        assert mean_rank_men(prefs, Matching([(0, 0)])) == 1.0
+
+    def test_empty_profile(self):
+        prefs = PreferenceProfile([], [])
+        assert mean_rank_men(prefs, Matching()) == 0.0
+        assert mean_rank_women(prefs, Matching()) == 0.0
+
+
+class TestLatticeAnchors:
+    def test_woman_optimal_is_stable(self):
+        for seed in range(4):
+            prefs = complete_uniform(8, seed=seed)
+            wopt = woman_optimal_matching(prefs)
+            assert is_stable(prefs, wopt)
+
+    def test_lattice_ordering(self):
+        """Man-optimal is weakly better for men (and weakly worse for
+        women) than woman-optimal — the classic lattice fact."""
+        for seed in range(5):
+            prefs = complete_uniform(10, seed=seed)
+            man_opt = gale_shapley(prefs).matching
+            woman_opt = woman_optimal_matching(prefs)
+            assert mean_rank_men(prefs, man_opt) <= mean_rank_men(
+                prefs, woman_opt
+            )
+            assert mean_rank_women(prefs, woman_opt) <= mean_rank_women(
+                prefs, man_opt
+            )
+
+    def test_incomplete_preferences(self):
+        prefs = gnp_incomplete(12, 0.5, seed=3)
+        wopt = woman_optimal_matching(prefs)
+        wopt.validate_against(prefs)
+        assert is_stable(prefs, wopt)
+
+
+class TestWelfareReport:
+    def test_report_brackets_asm(self):
+        prefs = complete_uniform(20, seed=1)
+        run = asm(prefs, 0.25)
+        rep = welfare_report(prefs, run.matching)
+        # Man-optimal GS is at least as good for men as near-stable ASM
+        # (up to matching noise on small instances).
+        assert rep.men_rank_man_optimal <= rep.men_rank + 1.0
+        assert rep.men_rank >= 1.0
+        assert rep.women_rank >= 1.0
+
+    def test_report_fields_consistent(self):
+        prefs = complete_uniform(10, seed=2)
+        gs = gale_shapley(prefs).matching
+        rep = welfare_report(prefs, gs)
+        assert rep.men_rank == rep.men_rank_man_optimal
+        assert rep.women_rank == rep.women_rank_man_optimal
