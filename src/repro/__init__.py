@@ -38,6 +38,11 @@ from repro.analysis import (
 )
 from repro.analysis.trace import TraceObserver
 from repro.analysis.welfare import welfare_report
+from repro.obs.events import EventLog
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import MetricsObserver
+from repro.obs.telemetry import Telemetry
 from repro.baselines import (
     better_response_dynamics,
     gale_shapley,
@@ -95,6 +100,12 @@ __all__ = [
     # analysis extras
     "TraceObserver",
     "welfare_report",
+    # observability (repro.obs)
+    "EventLog",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "RunManifest",
+    "Telemetry",
     # baselines
     "better_response_dynamics",
     "gale_shapley",

@@ -7,6 +7,14 @@ matching size so far) plus per-outer-iteration summaries.  The
 timeline renders as an ASCII table for inspection and can be exported
 as plain dicts for downstream analysis.
 
+Since the telemetry layer landed, ``TraceObserver`` is a thin
+projection over :class:`repro.obs.observer.MetricsObserver`: the hooks
+write ``proposal_round`` / ``quantile_match`` / ``outer_iteration``
+records into a shared :class:`repro.obs.events.EventLog`, and the
+legacy views (``proposal_rounds``, ``records()``, the timeline table)
+are derived from that log — one capture path, two presentations.  The
+pre-telemetry API is preserved exactly.
+
 Example
 -------
 >>> from repro.core.asm import asm
@@ -19,16 +27,13 @@ True
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
-from typing import Any, Dict, List
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.tables import format_table
-from repro.core.asm import (
-    ASMEngine,
-    ASMObserver,
-    OuterIterationStats,
-    ProposalRoundStats,
-)
+from repro.core.asm import OuterIterationStats
+from repro.obs.observer import MetricsObserver
+from repro.obs.telemetry import Telemetry
 
 __all__ = ["ProposalRoundRecord", "TraceObserver"]
 
@@ -51,45 +56,52 @@ class ProposalRoundRecord:
     bad_men: int
 
 
-class TraceObserver(ASMObserver):
-    """Records a per-round timeline of an ASM (or variant) run."""
+_RECORD_FIELDS = tuple(f.name for f in fields(ProposalRoundRecord))
+_OUTER_FIELDS = tuple(f.name for f in fields(OuterIterationStats))
 
-    def __init__(self) -> None:
-        self.proposal_rounds: List[ProposalRoundRecord] = []
-        self.quantile_match_boundaries: List[int] = []
-        self.outer_iterations: List[OuterIterationStats] = []
+
+class TraceObserver(MetricsObserver):
+    """Records a per-round timeline of an ASM (or variant) run.
+
+    All capture happens through the inherited
+    :class:`~repro.obs.observer.MetricsObserver` hooks; the properties
+    below reconstruct the legacy record types from the event log.
+    """
+
+    def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
+        super().__init__(telemetry)
 
     # ------------------------------------------------------------------
-    # Observer hooks
+    # Legacy views over the event log
     # ------------------------------------------------------------------
 
-    def on_proposal_round_end(
-        self, engine: ASMEngine, stats: ProposalRoundStats
-    ) -> None:
-        self.proposal_rounds.append(
+    @property
+    def proposal_rounds(self) -> List[ProposalRoundRecord]:
+        """One record per executed ProposalRound, in order."""
+        return [
             ProposalRoundRecord(
-                index=len(self.proposal_rounds),
-                proposals=stats.proposals,
-                accepts=stats.accepts,
-                rejects=stats.rejects,
-                g0_nodes=stats.g0_nodes,
-                g0_edges=stats.g0_edges,
-                matched_in_m0=stats.matched_in_m0,
-                mm_rounds=stats.mm_rounds,
-                max_player_work=stats.max_player_work,
-                matching_size=len(engine.current_matching()),
-                good_men=len(engine.good_men()),
-                bad_men=len(engine.bad_men()),
+                **{name: e.fields[name] for name in _RECORD_FIELDS}
             )
-        )
+            for e in self.telemetry.events.by_kind("proposal_round")
+        ]
 
-    def on_quantile_match_end(self, engine: ASMEngine) -> None:
-        self.quantile_match_boundaries.append(len(self.proposal_rounds))
+    @property
+    def quantile_match_boundaries(self) -> List[int]:
+        """Cumulative ProposalRound count at each QuantileMatch end."""
+        return [
+            e.fields["proposal_rounds_so_far"]
+            for e in self.telemetry.events.by_kind("quantile_match")
+        ]
 
-    def on_outer_iteration_end(
-        self, engine: ASMEngine, stats: OuterIterationStats
-    ) -> None:
-        self.outer_iterations.append(stats)
+    @property
+    def outer_iterations(self) -> List[OuterIterationStats]:
+        """Per-outer-iteration summaries (Algorithm 3's ``i`` loop)."""
+        return [
+            OuterIterationStats(
+                **{name: e.fields[name] for name in _OUTER_FIELDS}
+            )
+            for e in self.telemetry.events.by_kind("outer_iteration")
+        ]
 
     # ------------------------------------------------------------------
     # Reporting
@@ -101,40 +113,46 @@ class TraceObserver(ASMObserver):
 
     def timeline_table(self, max_rows: int = 50) -> str:
         """Render the first ``max_rows`` proposal rounds as a table."""
-        rows = self.records()[:max_rows]
+        records = self.records()
+        rows = records[:max_rows]
         suffix = ""
-        if len(self.proposal_rounds) > max_rows:
-            suffix = (
-                f"\n... {len(self.proposal_rounds) - max_rows} more rounds"
-            )
+        if len(records) > max_rows:
+            suffix = f"\n... {len(records) - max_rows} more rounds"
         return (
             format_table(rows, title="ASM proposal-round timeline") + suffix
         )
 
     def convergence_summary(self) -> Dict[str, Any]:
-        """Headline facts about how the run converged."""
-        if not self.proposal_rounds:
+        """Headline facts about how the run converged.
+
+        ``rounds_to_90pct_matched`` is ``None`` when nothing was ever
+        matched — an empty final matching has no meaningful "90% of
+        final size" round (every round trivially satisfies ``|M| ≥ 0``).
+        """
+        rounds = self.proposal_rounds
+        if not rounds:
             return {
                 "proposal_rounds": 0,
                 "final_matching_size": 0,
                 "rounds_to_90pct_matched": None,
                 "total_proposals": 0,
             }
-        final = self.proposal_rounds[-1].matching_size
-        target = 0.9 * final
-        reach = next(
-            (
-                r.index + 1
-                for r in self.proposal_rounds
-                if r.matching_size >= target
-            ),
-            None,
-        )
+        final = rounds[-1].matching_size
+        if final == 0:
+            reach: Optional[int] = None
+        else:
+            target = 0.9 * final
+            reach = next(
+                (
+                    r.index + 1
+                    for r in rounds
+                    if r.matching_size >= target
+                ),
+                None,
+            )
         return {
-            "proposal_rounds": len(self.proposal_rounds),
+            "proposal_rounds": len(rounds),
             "final_matching_size": final,
             "rounds_to_90pct_matched": reach,
-            "total_proposals": sum(
-                r.proposals for r in self.proposal_rounds
-            ),
+            "total_proposals": sum(r.proposals for r in rounds),
         }

@@ -12,6 +12,14 @@ Subcommands
     this regenerates the numbers recorded in EXPERIMENTS.md.
 ``list``
     List available experiments, workloads and algorithms.
+
+Telemetry
+---------
+``run`` and ``congest`` accept ``--metrics-out FILE`` (JSON: counters,
+gauges, phase-timing histograms) and ``--events-out FILE`` (JSONL:
+structured run events).  Both artifacts embed a
+:class:`~repro.obs.manifest.RunManifest` so they are self-describing;
+see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -29,6 +37,8 @@ from repro.baselines.truncated_gs import truncated_gale_shapley
 from repro.core.almost_regular import almost_regular_asm
 from repro.core.asm import asm
 from repro.core.rand_asm import rand_asm
+from repro.obs.manifest import RunManifest
+from repro.obs.telemetry import Telemetry
 from repro.workloads.generators import GENERATORS
 
 __all__ = ["main", "build_parser"]
@@ -54,6 +64,60 @@ _QUICK_OVERRIDES: Dict[str, Dict[str, Any]] = {
     "a4": dict(n=24, trials=1),
     "a5": dict(n_values=(16, 32, 64), trials=1),
 }
+
+
+def _telemetry_for(
+    args: argparse.Namespace,
+    algorithm: str,
+    params: Dict[str, Any],
+) -> Optional[Telemetry]:
+    """An enabled telemetry bundle iff an export flag was given."""
+    if not (args.metrics_out or args.events_out):
+        return None
+    manifest = RunManifest.capture(
+        algorithm=algorithm,
+        workload=getattr(args, "workload", None),
+        n=getattr(args, "n", None),
+        seed=getattr(args, "seed", None),
+        params=params,
+    )
+    return Telemetry.create(manifest)
+
+
+def _export_telemetry(
+    args: argparse.Namespace, telemetry: Optional[Telemetry]
+) -> None:
+    """Dump the bundle to the requested files (notices on stderr)."""
+    if telemetry is None:
+        return
+    from repro.io import save_events, save_metrics
+
+    if telemetry.manifest is not None:
+        telemetry.manifest.finish()
+    if args.metrics_out:
+        save_metrics(telemetry.metrics, args.metrics_out, telemetry.manifest)
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+    if args.events_out:
+        save_events(telemetry.events, args.events_out, telemetry.manifest)
+        print(
+            f"wrote {len(telemetry.events)} events to {args.events_out}",
+            file=sys.stderr,
+        )
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="export run metrics (counters/gauges/histograms) as JSON",
+    )
+    parser.add_argument(
+        "--events-out",
+        default=None,
+        metavar="FILE",
+        help="export the structured event stream as JSONL",
+    )
 
 
 def _make_workload(name: str, n: int, seed: int):
@@ -108,17 +172,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.n = prefs.n_men
     else:
         prefs = _make_workload(args.workload, args.n, args.seed)
+
+    asm_variants = ("asm", "rand-asm", "almost-regular-asm")
+    if args.algorithm in asm_variants:
+        params: Dict[str, Any] = {"eps": args.eps}
+    elif args.algorithm == "truncated-gs":
+        params = {"iterations": args.gs_iterations}
+    else:
+        params = {}
+    telemetry = _telemetry_for(args, args.algorithm, params)
+    observer = None
+    if telemetry is not None and args.algorithm in asm_variants:
+        from repro.obs.observer import MetricsObserver
+
+        observer = MetricsObserver(telemetry)
+
     t0 = time.time()
     rows: List[Dict[str, Any]] = []
     if args.algorithm == "asm":
-        result = asm(prefs, args.eps)
+        result = asm(prefs, args.eps, observer=observer, telemetry=telemetry)
     elif args.algorithm == "rand-asm":
-        result = rand_asm(prefs, args.eps, seed=args.seed)
+        result = rand_asm(
+            prefs, args.eps, seed=args.seed,
+            observer=observer, telemetry=telemetry,
+        )
     elif args.algorithm == "almost-regular-asm":
-        result = almost_regular_asm(prefs, args.eps, seed=args.seed)
+        result = almost_regular_asm(
+            prefs, args.eps, seed=args.seed,
+            observer=observer, telemetry=telemetry,
+        )
     elif args.algorithm == "gale-shapley":
         gs = gale_shapley(prefs)
         rep = stability_report(prefs, gs.matching)
+        if telemetry is not None:
+            telemetry.metrics.inc("gs.proposals", gs.proposals)
+            telemetry.metrics.inc("gs.rounds", gs.rounds)
+            telemetry.metrics.set_gauge("gs.matching_size", rep.matching_size)
+            telemetry.metrics.set_gauge("run.wall_seconds", time.time() - t0)
+        _export_telemetry(args, telemetry)
         rows.append(
             {
                 "algorithm": "gale-shapley",
@@ -134,6 +225,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     elif args.algorithm == "truncated-gs":
         gs = truncated_gale_shapley(prefs, args.gs_iterations)
         rep = stability_report(prefs, gs.matching)
+        if telemetry is not None:
+            telemetry.metrics.inc("gs.proposals", gs.proposals)
+            telemetry.metrics.inc("gs.rounds", gs.rounds)
+            telemetry.metrics.set_gauge("gs.matching_size", rep.matching_size)
+            telemetry.metrics.set_gauge("run.wall_seconds", time.time() - t0)
+        _export_telemetry(args, telemetry)
         rows.append(
             {
                 "algorithm": f"truncated-gs@{args.gs_iterations}",
@@ -148,6 +245,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 0
     else:  # pragma: no cover - argparse restricts choices
         raise AssertionError(args.algorithm)
+    if telemetry is not None:
+        telemetry.metrics.set_gauge("run.wall_seconds", time.time() - t0)
+        telemetry.metrics.inc("asm.rounds_active", result.rounds_active)
+        telemetry.metrics.inc("asm.rounds_scheduled", result.rounds_scheduled)
+    _export_telemetry(args, telemetry)
     if args.json:
         payload = result.to_dict()
         payload["instability"] = stability_report(
@@ -219,9 +321,19 @@ def _cmd_congest(args: argparse.Namespace) -> int:
     )
 
     prefs = _make_workload(args.workload, args.n, args.seed)
+    telemetry = _telemetry_for(
+        args,
+        f"congest-{args.protocol}",
+        {
+            "eps": args.eps,
+            "inner_iterations": args.inner,
+            "outer_iterations": args.outer,
+            "mm_iterations": args.mm_iterations,
+        },
+    )
     t0 = time.time()
     if args.protocol == "gale-shapley":
-        matching, sim = run_congest_gale_shapley(prefs)
+        matching, sim = run_congest_gale_shapley(prefs, telemetry=telemetry)
         stats = sim.stats
     else:
         overrides = dict(
@@ -231,10 +343,10 @@ def _cmd_congest(args: argparse.Namespace) -> int:
         )
         if args.protocol == "asm":
             result = run_congest_asm(prefs, args.eps, seed=args.seed,
-                                     **overrides)
+                                     telemetry=telemetry, **overrides)
         elif args.protocol == "rand-asm":
             result = run_congest_rand_asm(prefs, args.eps, seed=args.seed,
-                                          **overrides)
+                                          telemetry=telemetry, **overrides)
         else:  # almost-regular-asm
             result = run_congest_almost_regular_asm(
                 prefs,
@@ -242,9 +354,16 @@ def _cmd_congest(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 quantile_match_iterations=args.inner,
                 mm_iterations=args.mm_iterations,
+                telemetry=telemetry,
             )
         matching, stats = result.matching, result.stats
     rep = stability_report(prefs, matching)
+    if telemetry is not None:
+        telemetry.metrics.set_gauge("run.wall_seconds", time.time() - t0)
+        telemetry.metrics.set_gauge("congest.matching_size", rep.matching_size)
+        telemetry.metrics.set_gauge("congest.max_message_bits",
+                                    stats.max_message_bits)
+    _export_telemetry(args, telemetry)
     print(
         format_table(
             [
@@ -319,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="load the instance from a file written by `generate` "
         "(overrides --workload/--n/--seed)",
     )
+    _add_telemetry_flags(run_p)
     run_p.set_defaults(func=_cmd_run)
 
     gen_p = sub.add_parser(
@@ -365,6 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="outer-loop iterations override")
     con_p.add_argument("--mm-iterations", type=int, default=16,
                        help="matching-phase iteration budget")
+    _add_telemetry_flags(con_p)
     con_p.set_defaults(func=_cmd_congest)
 
     list_p = sub.add_parser("list", help="list experiments and workloads")

@@ -241,6 +241,7 @@ def run_congest_asm(
     mm_kind: str = "pointer",
     seed: int = 0,
     recorder=None,
+    telemetry=None,
 ) -> CongestASMResult:
     """Run ASM at the message level over the CONGEST simulator.
 
@@ -272,7 +273,9 @@ def run_congest_asm(
         mm_kind=mm_kind,
         seed=seed,
     )
-    return _run_with_schedule(prefs, sched, recorder=recorder)
+    return _run_with_schedule(
+        prefs, sched, recorder=recorder, telemetry=telemetry
+    )
 
 
 def run_congest_rand_asm(
@@ -285,6 +288,7 @@ def run_congest_rand_asm(
     outer_iterations: Optional[int] = None,
     mm_iterations: Optional[int] = None,
     recorder=None,
+    telemetry=None,
 ) -> CongestASMResult:
     """RandASM (Theorem 5) at the message level.
 
@@ -312,6 +316,7 @@ def run_congest_rand_asm(
         mm_kind="israeli_itai",
         seed=seed,
         recorder=recorder,
+        telemetry=telemetry,
     )
 
 
@@ -326,6 +331,7 @@ def run_congest_almost_regular_asm(
     mm_iterations: Optional[int] = None,
     mm_kind: str = "israeli_itai",
     recorder=None,
+    telemetry=None,
 ) -> CongestASMResult:
     """AlmostRegularASM (Theorem 6) at the message level.
 
@@ -357,13 +363,16 @@ def run_congest_almost_regular_asm(
         flat_schedule=True,
         remove_violators=True,
     )
-    return _run_with_schedule(prefs, sched, recorder=recorder)
+    return _run_with_schedule(
+        prefs, sched, recorder=recorder, telemetry=telemetry
+    )
 
 
 def _run_with_schedule(
     prefs: PreferenceProfile,
     sched: ASMSchedule,
     recorder=None,
+    telemetry=None,
 ) -> CongestASMResult:
     """Build the node programs for ``sched`` and run the simulation."""
     graph = bipartite_graph_from_edges(
@@ -382,7 +391,7 @@ def _run_with_schedule(
         programs[woman_node(w)] = _woman_program(
             w, prefs.woman_list(w), sched, rng
         )
-    sim = Simulator(graph, programs, recorder=recorder)
+    sim = Simulator(graph, programs, recorder=recorder, telemetry=telemetry)
     stats = sim.run()
     # Assemble the matching from the women's outputs and cross-check
     # against the men's view.

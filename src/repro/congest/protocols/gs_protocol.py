@@ -93,7 +93,11 @@ def _woman_program(
 
 
 def run_congest_gale_shapley(
-    prefs: PreferenceProfile, iterations: Optional[int] = None
+    prefs: PreferenceProfile,
+    iterations: Optional[int] = None,
+    *,
+    recorder=None,
+    telemetry=None,
 ) -> Tuple[Matching, "Simulator"]:
     """Run distributed Gale–Shapley over the simulator.
 
@@ -114,7 +118,7 @@ def run_congest_gale_shapley(
     for w in range(prefs.n_women):
         rank = {m: prefs.rank_of_man(w, m) for m in prefs.woman_list(w)}
         programs[woman_node(w)] = _woman_program(w, rank, iterations)
-    sim = Simulator(graph, programs)
+    sim = Simulator(graph, programs, recorder=recorder, telemetry=telemetry)
     sim.run()
     pairs = []
     for w in range(prefs.n_women):

@@ -2,9 +2,11 @@
 
 A :class:`MessageRecorder` attached to a :class:`~repro.congest.
 simulator.Simulator` captures every delivered message (round, sender,
-recipient, kind, payload) into a bounded buffer, with per-kind
-aggregate counts that are never truncated.  Renders message-sequence
-tables for debugging protocols.
+recipient, kind, payload) into a bounded buffer, with per-kind and
+per-round aggregate counts that are never truncated.  Renders
+message-sequence tables for debugging protocols, and can replay its
+per-round aggregates into a :class:`repro.obs.events.EventLog` as
+``message_batch`` records (see :meth:`MessageRecorder.emit_events`).
 
 Example
 -------
@@ -16,9 +18,9 @@ Example
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.analysis.tables import format_table
 from repro.congest.message import Message
@@ -45,10 +47,13 @@ class MessageRecorder:
     ----------
     max_events:
         Keep at most this many most-recent events (aggregate counters
-        keep counting past the cap).  ``None`` = unbounded.
+        keep counting past the cap).  ``None`` = unbounded.  The
+        buffer is a ``collections.deque(maxlen=...)``, so eviction is
+        O(1) — a full buffer never makes recording quadratic.
     kinds:
         Optional whitelist of message kinds to record as events
-        (aggregates still count everything).
+        (aggregates still count everything).  Filtered-out kinds never
+        enter the buffer, so they also never evict recorded events.
     """
 
     def __init__(
@@ -58,10 +63,16 @@ class MessageRecorder:
     ) -> None:
         self.max_events = max_events
         self._kind_filter = set(kinds) if kinds is not None else None
-        self.events: List[MessageEvent] = []
+        self._events: Deque[MessageEvent] = deque(maxlen=max_events)
         self.counts_by_kind: Counter = Counter()
         self.counts_by_round: Counter = Counter()
+        self.counts_by_round_kind: Counter = Counter()
         self.dropped_events = 0
+
+    @property
+    def events(self) -> List[MessageEvent]:
+        """The recorded events, oldest first (a fresh list)."""
+        return list(self._events)
 
     # ------------------------------------------------------------------
     # Simulator hook
@@ -74,15 +85,19 @@ class MessageRecorder:
         """Called by the simulator for every delivered message."""
         self.counts_by_kind[message.kind] += 1
         self.counts_by_round[round_index] += 1
+        self.counts_by_round_kind[(round_index, message.kind)] += 1
         if (
             self._kind_filter is not None
             and message.kind not in self._kind_filter
         ):
             return
-        if self.max_events is not None and len(self.events) >= self.max_events:
-            self.events.pop(0)
+        if (
+            self.max_events is not None
+            and len(self._events) >= self.max_events
+        ):
+            # deque(maxlen=...) evicts the oldest entry on append.
             self.dropped_events += 1
-        self.events.append(
+        self._events.append(
             MessageEvent(
                 round=round_index,
                 sender=sender,
@@ -108,7 +123,7 @@ class MessageRecorder:
         if role not in ("sender", "recipient", "any"):
             raise ValueError(f"role must be sender|recipient|any, got {role!r}")
         out = []
-        for e in self.events:
+        for e in self._events:
             if role in ("sender", "any") and e.sender == node:
                 out.append(e)
             elif role in ("recipient", "any") and e.recipient == node:
@@ -116,7 +131,10 @@ class MessageRecorder:
         return out
 
     def busiest_round(self) -> Optional[int]:
-        """The round index carrying the most messages (None if silent)."""
+        """The round index carrying the most messages (None if silent).
+
+        Ties break toward the *earliest* such round.
+        """
         if not self.counts_by_round:
             return None
         return max(self.counts_by_round, key=lambda r: (self.counts_by_round[r], -r))
@@ -128,8 +146,30 @@ class MessageRecorder:
             for kind, count in sorted(self.counts_by_kind.items())
         ]
 
+    def emit_events(self, events: Any) -> int:
+        """Replay per-round aggregates into an event log.
+
+        Appends one ``message_batch`` record per observed round — built
+        from the untruncated aggregate counters, so it is exact even
+        when the event buffer capped or filtered.  Returns the number
+        of records emitted.  ``events`` is an
+        :class:`repro.obs.events.EventLog` (or anything with the same
+        ``emit`` method).
+        """
+        per_round: Dict[int, Dict[str, int]] = {}
+        for (r, kind), count in self.counts_by_round_kind.items():
+            per_round.setdefault(r, {})[kind] = count
+        for round_index in sorted(per_round):
+            events.emit(
+                "message_batch",
+                round=round_index,
+                kinds=dict(sorted(per_round[round_index].items())),
+            )
+        return len(per_round)
+
     def sequence_table(self, limit: int = 40) -> str:
         """The first ``limit`` recorded events as a message-sequence table."""
+        recorded = self.events
         rows = [
             {
                 "round": e.round,
@@ -138,10 +178,10 @@ class MessageRecorder:
                 "kind": e.kind,
                 "payload": repr(e.payload) if e.payload else "",
             }
-            for e in self.events[:limit]
+            for e in recorded[:limit]
         ]
         suffix = ""
-        remaining = len(self.events) - limit
+        remaining = len(recorded) - limit
         if remaining > 0:
             suffix = f"\n... {remaining} more recorded events"
         if self.dropped_events:

@@ -22,12 +22,14 @@ empty dict.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, Mapping, Optional
 
 from repro.congest.message import Message
 from repro.errors import ProtocolViolationError, SimulationError
 from repro.graphs import Graph, NodeId
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["NodeProgram", "SimulationStats", "Simulator"]
 
@@ -65,6 +67,16 @@ class Simulator:
     bit_cap_factor:
         The ``O(·)`` constant of the ``O(log n)`` cap: messages may use
         at most ``bit_cap_factor · (⌈log₂ n⌉ + 1)`` bits.
+    recorder:
+        Optional :class:`~repro.congest.recorder.MessageRecorder` (any
+        object with ``on_message(round, sender, recipient, message)``).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` bundle; when
+        enabled, every round is timed (``congest.round_seconds``
+        histogram), message/bit totals accumulate as counters, and the
+        event log receives one ``congest_round`` record per round plus
+        a ``message_batch`` record (per-kind counts) for every round
+        that carried messages.
     """
 
     def __init__(
@@ -74,6 +86,7 @@ class Simulator:
         *,
         bit_cap_factor: int = 8,
         recorder: Optional[Any] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.graph = graph
         for v in programs:
@@ -97,6 +110,9 @@ class Simulator:
         # Optional message recorder (see repro.congest.recorder): any
         # object with on_message(round, sender, recipient, message).
         self.recorder = recorder
+        # Optional telemetry bundle (see repro.obs): per-round timings
+        # and message counts flow into its registry and event log.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     @property
     def finished(self) -> bool:
@@ -120,6 +136,11 @@ class Simulator:
         live = [v for v in self.programs if v not in self.results]
         if not live:
             return False
+        telemetry = self.telemetry
+        observing = telemetry.enabled
+        t0 = time.perf_counter() if observing else 0.0
+        round_bits = 0
+        kind_counts: Dict[str, int] = {}
         outboxes: Dict[NodeId, Dict[NodeId, Message]] = {}
         for v in sorted(live, key=repr):
             out = self._advance(v)
@@ -161,9 +182,33 @@ class Simulator:
                 self.stats.max_message_bits = max(
                     self.stats.max_message_bits, bits
                 )
+                if observing:
+                    round_bits += bits
+                    kind_counts[msg.kind] = kind_counts.get(msg.kind, 0) + 1
         self._inboxes = new_inboxes
         self.stats.rounds += 1
         self.stats.messages_per_round.append(round_messages)
+        if observing:
+            elapsed = time.perf_counter() - t0
+            metrics = telemetry.metrics
+            metrics.inc("congest.rounds")
+            metrics.inc("congest.messages", round_messages)
+            metrics.inc("congest.bits", round_bits)
+            metrics.observe("congest.round_seconds", elapsed)
+            metrics.observe("congest.messages_per_round", round_messages)
+            telemetry.events.emit(
+                "congest_round",
+                round=self.stats.rounds,
+                messages=round_messages,
+                bits=round_bits,
+                seconds=round(elapsed, 9),
+            )
+            if kind_counts:
+                telemetry.events.emit(
+                    "message_batch",
+                    round=self.stats.rounds,
+                    kinds=kind_counts,
+                )
         return not self.finished
 
     def run(self, max_rounds: Optional[int] = None) -> SimulationStats:

@@ -33,6 +33,7 @@ from repro.core.rounds import FixedCost
 from repro.errors import InvalidParameterError
 from repro.mm.israeli_itai import ROUNDS_PER_MATCHING_ROUND, rounds_for_amm
 from repro.mm.oracles import amm_oracle
+from repro.obs.telemetry import Telemetry
 
 __all__ = ["AlmostRegularPlan", "plan_almost_regular", "almost_regular_asm"]
 
@@ -108,6 +109,7 @@ def almost_regular_asm(
     seed: int = 0,
     *,
     observer: Optional[ASMObserver] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> ASMResult:
     """Run ``AlmostRegularASM(P, ε, δ, α)`` (Theorem 6).
 
@@ -134,5 +136,6 @@ def almost_regular_asm(
         mm_cost_model=FixedCost(plan.rounds_per_call),
         remove_unmatched_violators=True,
         observer=observer,
+        telemetry=telemetry,
     )
     return engine.run_flat(plan.quantile_match_iterations)

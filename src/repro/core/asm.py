@@ -48,6 +48,7 @@ from repro.graphs import Graph, is_man_node, man_node, node_index, woman_node
 from repro.mm.oracles import MMOracle, deterministic_oracle
 from repro.mm.result import MMResult
 from repro.mm.verify import violating_vertices
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = [
     "params_for_eps",
@@ -254,6 +255,14 @@ class ASMEngine:
         proposal-consistency invariants).  Used by the test suite.
     observer:
         Optional :class:`ASMObserver` for instrumentation.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` bundle; when
+        provided (and enabled), the engine times the propose /
+        accept-reject / maximal-matching phases of every executed
+        ProposalRound into its metrics registry
+        (``asm.phase.propose`` / ``asm.phase.accept_reject`` /
+        ``asm.phase.maximal_matching`` histograms).  Defaults to the
+        shared no-op bundle, which costs (nearly) nothing.
     """
 
     def __init__(
@@ -268,6 +277,7 @@ class ASMEngine:
         remove_unmatched_violators: bool = False,
         check_invariants: bool = False,
         observer: Optional[ASMObserver] = None,
+        telemetry: Optional[Telemetry] = None,
         inner_iterations: Optional[int] = None,
         outer_iterations: Optional[int] = None,
     ) -> None:
@@ -287,6 +297,7 @@ class ASMEngine:
         self.remove_unmatched_violators = remove_unmatched_violators
         self.check_invariants = check_invariants
         self.observer = observer
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         # Schedule overrides (used by ablations and the CONGEST
         # cross-validation, which needs small fixed schedules).
         self._inner_iterations_override = inner_iterations
@@ -368,101 +379,110 @@ class ASMEngine:
         (since active sets only shrink between QuantileMatch calls) no
         state can change — callers charge the scheduled rounds and skip.
         """
+        telemetry = self.telemetry
         # Step 1: men propose to every woman in A.
-        proposals: Dict[int, List[int]] = {}
-        n_proposals = 0
-        max_work = 0  # Remark 4: max per-processor work this round
-        for m in range(self.n_men):
-            if self.removed[m] or not self.active[m]:
-                continue
-            for w in self.active[m]:
-                proposals.setdefault(w, []).append(m)
-            n_proposals += len(self.active[m])
-            max_work = max(max_work, len(self.active[m]))
+        with telemetry.timer("asm.phase.propose"):
+            proposals: Dict[int, List[int]] = {}
+            n_proposals = 0
+            max_work = 0  # Remark 4: max per-processor work this round
+            for m in range(self.n_men):
+                if self.removed[m] or not self.active[m]:
+                    continue
+                for w in self.active[m]:
+                    proposals.setdefault(w, []).append(m)
+                n_proposals += len(self.active[m])
+                max_work = max(max_work, len(self.active[m]))
         if not proposals:
             return None
 
         # Step 2: each woman accepts her best proposing quantile.
-        g0 = Graph()
-        n_accepts = 0
-        for w, suitors in proposals.items():
-            max_work = max(max_work, len(suitors))
-            wq = self.women_q[w]
-            if self.check_invariants:
+        with telemetry.timer("asm.phase.accept_reject"):
+            g0 = Graph()
+            n_accepts = 0
+            for w, suitors in proposals.items():
+                max_work = max(max_work, len(suitors))
+                wq = self.women_q[w]
+                if self.check_invariants:
+                    for m in suitors:
+                        if not wq.contains(m):
+                            raise SimulationError(
+                                f"man {m} proposed to woman {w} after "
+                                f"removal from her list"
+                            )
+                best = wq.best_nonempty_among(suitors)
+                if best is None:
+                    raise SimulationError(
+                        f"woman {w} received proposals only from removed men"
+                    )
                 for m in suitors:
-                    if not wq.contains(m):
-                        raise SimulationError(
-                            f"man {m} proposed to woman {w} after removal "
-                            f"from her list"
-                        )
-            best = wq.best_nonempty_among(suitors)
-            if best is None:
-                raise SimulationError(
-                    f"woman {w} received proposals only from removed men"
+                    if wq.contains(m) and wq.quantile_of(m) == best:
+                        g0.add_edge(man_node(m), woman_node(w))
+                        n_accepts += 1
+
+        with telemetry.timer("asm.phase.maximal_matching"):
+            # Step 3: maximal matching on the accepted-proposal graph G0.
+            mm_result: MMResult = self.mm_oracle(g0)
+            # Remark 4 proxy for subroutine-local work: each MM round
+            # costs a processor at most its G0 degree.
+            if g0.num_nodes:
+                max_g0_deg = max(g0.degree(v) for v in g0.nodes())
+                max_work = max(max_work, mm_result.rounds * max_g0_deg)
+
+            # Almost-regular mode (Theorem 6 footnote): men violating
+            # Definition 3 after an almost-maximal matching leave the game.
+            men_removed = 0
+            if self.remove_unmatched_violators:
+                for v in violating_vertices(g0, mm_result.partner):
+                    if is_man_node(v):
+                        mi = node_index(v)
+                        if not self.removed[mi]:
+                            self.removed[mi] = True
+                            self.active[mi] = set()
+                            men_removed += 1
+
+        with telemetry.timer("asm.phase.accept_reject"):
+            # Step 4: newly matched women reject all weakly-worse suitors.
+            rejections: Dict[int, List[int]] = {}
+            n_rejects = 0
+            matched_pairs: List[Tuple[int, int]] = []
+            for u, v in mm_result.pairs():
+                m0, w = (
+                    (node_index(u), node_index(v))
+                    if is_man_node(u)
+                    else (node_index(v), node_index(u))
                 )
-            for m in suitors:
-                if wq.contains(m) and wq.quantile_of(m) == best:
-                    g0.add_edge(man_node(m), woman_node(w))
-                    n_accepts += 1
+                matched_pairs.append((m0, w))
+            for m0, w in matched_pairs:
+                wq = self.women_q[w]
+                q0 = wq.quantile_of(m0)
+                rejected = wq.members_at_least(q0) - {m0}
+                max_work = max(max_work, len(rejected))
+                old = self.woman_partner[w]
+                if (
+                    self.check_invariants
+                    and old is not None
+                    and old not in rejected
+                ):
+                    raise SimulationError(
+                        f"woman {w} traded up to man {m0} but did not "
+                        f"reject previous partner {old}"
+                    )
+                for m in rejected:
+                    wq.remove(m)
+                    rejections.setdefault(m, []).append(w)
+                n_rejects += len(rejected)
+                self.woman_partner[w] = m0
+                self.man_partner[m0] = w
+                self.active[m0] = set()
 
-        # Step 3: maximal matching on the accepted-proposal graph G0.
-        mm_result: MMResult = self.mm_oracle(g0)
-        # Remark 4 proxy for subroutine-local work: each MM round costs a
-        # processor at most its G0 degree.
-        if g0.num_nodes:
-            max_g0_deg = max(g0.degree(v) for v in g0.nodes())
-            max_work = max(max_work, mm_result.rounds * max_g0_deg)
-
-        # Almost-regular mode (Theorem 6 footnote): men violating
-        # Definition 3 after an almost-maximal matching leave the game.
-        men_removed = 0
-        if self.remove_unmatched_violators:
-            for v in violating_vertices(g0, mm_result.partner):
-                if is_man_node(v):
-                    mi = node_index(v)
-                    if not self.removed[mi]:
-                        self.removed[mi] = True
-                        self.active[mi] = set()
-                        men_removed += 1
-
-        # Step 4: newly matched women reject all weakly-worse suitors.
-        rejections: Dict[int, List[int]] = {}
-        n_rejects = 0
-        matched_pairs: List[Tuple[int, int]] = []
-        for u, v in mm_result.pairs():
-            m0, w = (
-                (node_index(u), node_index(v))
-                if is_man_node(u)
-                else (node_index(v), node_index(u))
-            )
-            matched_pairs.append((m0, w))
-        for m0, w in matched_pairs:
-            wq = self.women_q[w]
-            q0 = wq.quantile_of(m0)
-            rejected = wq.members_at_least(q0) - {m0}
-            max_work = max(max_work, len(rejected))
-            old = self.woman_partner[w]
-            if self.check_invariants and old is not None and old not in rejected:
-                raise SimulationError(
-                    f"woman {w} traded up to man {m0} but did not reject "
-                    f"previous partner {old}"
-                )
-            for m in rejected:
-                wq.remove(m)
-                rejections.setdefault(m, []).append(w)
-            n_rejects += len(rejected)
-            self.woman_partner[w] = m0
-            self.man_partner[m0] = w
-            self.active[m0] = set()
-
-        # Step 5: men process rejections.
-        for m, rejecting in rejections.items():
-            mq = self.men_q[m]
-            for w in rejecting:
-                mq.remove(w)
-                self.active[m].discard(w)
-                if self.man_partner[m] == w:
-                    self.man_partner[m] = None
+            # Step 5: men process rejections.
+            for m, rejecting in rejections.items():
+                mq = self.men_q[m]
+                for w in rejecting:
+                    mq.remove(w)
+                    self.active[m].discard(w)
+                    if self.man_partner[m] == w:
+                        self.man_partner[m] = None
 
         self.messages.proposes += n_proposals
         self.messages.accepts += n_accepts
@@ -703,6 +723,7 @@ def asm(
     mm_cost_model: Optional[MMCostModel] = None,
     check_invariants: bool = False,
     observer: Optional[ASMObserver] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> ASMResult:
     """Run deterministic ``ASM(P, ε, n)`` (Theorem 1 / Theorem 3).
 
@@ -730,5 +751,6 @@ def asm(
         mm_cost_model=mm_cost_model,
         check_invariants=check_invariants,
         observer=observer,
+        telemetry=telemetry,
     )
     return engine.run()

@@ -25,6 +25,7 @@ from repro.mm.israeli_itai import (
     rounds_for_maximality,
 )
 from repro.mm.oracles import truncated_israeli_itai_oracle
+from repro.obs.telemetry import Telemetry
 
 __all__ = ["RandASMPlan", "plan_rand_asm", "rand_asm"]
 
@@ -92,6 +93,7 @@ def rand_asm(
     *,
     check_invariants: bool = False,
     observer: Optional[ASMObserver] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> ASMResult:
     """Run ``RandASM(P, ε, n, δ)`` (Theorem 5).
 
@@ -121,5 +123,6 @@ def rand_asm(
         mm_cost_model=FixedCost(plan.rounds_per_call),
         check_invariants=check_invariants,
         observer=observer,
+        telemetry=telemetry,
     )
     return engine.run()

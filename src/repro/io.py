@@ -1,4 +1,4 @@
-"""File I/O for instances, matchings and results.
+"""File I/O for instances, matchings, results and telemetry.
 
 Plain JSON on disk so experiments are reproducible and shareable:
 
@@ -7,6 +7,13 @@ Plain JSON on disk so experiments are reproducible and shareable:
   provenance if provided).
 * :func:`save_matching` / :func:`load_matching` — matchings.
 * :func:`save_result` — an :class:`~repro.core.asm.ASMResult` summary.
+* :func:`save_metrics` / :func:`load_metrics` — a
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot (counters,
+  gauges, histogram summaries) embedding its
+  :class:`~repro.obs.manifest.RunManifest`.
+* :func:`save_events` / :func:`load_events` — an
+  :class:`~repro.obs.events.EventLog` as JSONL: a manifest-bearing
+  header line followed by one flat JSON record per event.
 
 The envelope is versioned so future format changes stay readable.
 """
@@ -15,12 +22,15 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.asm import ASMResult
 from repro.core.matching import Matching
 from repro.core.preferences import PreferenceProfile
 from repro.errors import ReproError
+from repro.obs.events import EventLog
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "FORMAT_VERSION",
@@ -30,6 +40,10 @@ __all__ = [
     "save_matching",
     "load_matching",
     "save_result",
+    "save_metrics",
+    "load_metrics",
+    "save_events",
+    "load_events",
 ]
 
 FORMAT_VERSION = 1
@@ -136,3 +150,116 @@ def save_result(
         "asm_result",
         {"metadata": metadata or {}, "result": result.to_dict()},
     )
+
+
+# ----------------------------------------------------------------------
+# Telemetry exports (repro.obs)
+# ----------------------------------------------------------------------
+
+
+def _manifest_dict(
+    manifest: Optional[Union[RunManifest, Dict[str, Any]]]
+) -> Dict[str, Any]:
+    if manifest is None:
+        return {}
+    if isinstance(manifest, RunManifest):
+        return manifest.to_dict()
+    return dict(manifest)
+
+
+def save_metrics(
+    metrics: Union[MetricsRegistry, Dict[str, Any]],
+    path: PathLike,
+    manifest: Optional[Union[RunManifest, Dict[str, Any]]] = None,
+) -> None:
+    """Write a metrics snapshot (plus its manifest) as versioned JSON.
+
+    ``metrics`` is a :class:`~repro.obs.metrics.MetricsRegistry` (its
+    :meth:`~repro.obs.metrics.MetricsRegistry.to_dict` snapshot is
+    taken) or an already-snapshotted dict.
+    """
+    snapshot = (
+        metrics.to_dict() if isinstance(metrics, MetricsRegistry) else metrics
+    )
+    _write(
+        path,
+        "metrics",
+        {"manifest": _manifest_dict(manifest), "metrics": snapshot},
+    )
+
+
+def load_metrics(path: PathLike) -> Dict[str, Any]:
+    """Read a document written by :func:`save_metrics`.
+
+    Returns the full envelope dict; the interesting keys are
+    ``"metrics"`` (counters / gauges / histograms) and ``"manifest"``.
+    """
+    return _read(path, "metrics")
+
+
+def save_events(
+    events: Union[EventLog, Iterable[Dict[str, Any]]],
+    path: PathLike,
+    manifest: Optional[Union[RunManifest, Dict[str, Any]]] = None,
+) -> None:
+    """Write an event stream as JSONL.
+
+    The first line is the envelope (format, version, kind
+    ``"event_stream"``, and the embedded manifest); every following
+    line is one flat event record.
+    """
+    records = (
+        events.to_records() if isinstance(events, EventLog) else list(events)
+    )
+    header = {
+        "format": "repro",
+        "version": FORMAT_VERSION,
+        "kind": "event_stream",
+        "manifest": _manifest_dict(manifest),
+        "num_events": len(records),
+    }
+    lines = [json.dumps(header)]
+    lines.extend(json.dumps(record) for record in records)
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_events(
+    path: PathLike,
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a JSONL stream written by :func:`save_events`.
+
+    Returns ``(manifest, records)``.
+
+    Raises
+    ------
+    FileFormatError
+        If the header line is missing/invalid or any line is not JSON.
+    """
+    text = Path(path).read_text()
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise FileFormatError(f"{path}: empty event stream")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise FileFormatError(f"{path}: header is not valid JSON ({exc})") from exc
+    if not isinstance(header, dict) or header.get("format") != "repro":
+        raise FileFormatError(f"{path}: missing repro format envelope")
+    if header.get("version") != FORMAT_VERSION:
+        raise FileFormatError(
+            f"{path}: unsupported format version {header.get('version')!r}"
+        )
+    if header.get("kind") != "event_stream":
+        raise FileFormatError(
+            f"{path}: expected kind 'event_stream', found "
+            f"{header.get('kind')!r}"
+        )
+    records: List[Dict[str, Any]] = []
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise FileFormatError(
+                f"{path}: line {i} is not valid JSON ({exc})"
+            ) from exc
+    return header.get("manifest", {}), records

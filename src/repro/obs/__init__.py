@@ -1,0 +1,66 @@
+"""``repro.obs`` — the unified telemetry layer.
+
+One subsystem carries every quantitative claim the repo makes:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges,
+  histograms (p50/p95/max), and a :func:`time.perf_counter`-based
+  :class:`~repro.obs.metrics.Timer`, with a near-zero-overhead no-op
+  mode when disabled;
+* :class:`~repro.obs.events.EventLog` — JSONL-able structured records
+  over the run-scoped schema :data:`~repro.obs.events.EVENT_KINDS`
+  (``proposal_round``, ``quantile_match``, ``outer_iteration``,
+  ``congest_round``, ``message_batch``);
+* :class:`~repro.obs.manifest.RunManifest` — provenance embedded in
+  every exported artifact;
+* :class:`~repro.obs.telemetry.Telemetry` — the bundle instrumented
+  components accept (engine, CONGEST simulator, CLI), defaulting to
+  the shared no-op :data:`~repro.obs.telemetry.NULL_TELEMETRY`;
+* :class:`~repro.obs.observer.MetricsObserver` — the
+  :class:`~repro.core.asm.ASMObserver` feeding the bundle from engine
+  hooks (imported lazily here to avoid a cycle with ``repro.core``).
+
+Exports flow through :func:`repro.io.save_metrics` /
+:func:`repro.io.save_events`; the CLI exposes them as
+``--metrics-out`` / ``--events-out`` on ``run`` and ``congest``.
+See ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.events import EVENT_KINDS, Event, EventLog
+from repro.obs.manifest import RunManifest, git_describe
+from repro.obs.metrics import (
+    MetricsRegistry,
+    Timer,
+    histogram_summary,
+    percentile,
+)
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+
+__all__ = [
+    "EVENT_KINDS",
+    "Event",
+    "EventLog",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "RunManifest",
+    "Telemetry",
+    "Timer",
+    "git_describe",
+    "histogram_summary",
+    "percentile",
+]
+
+
+def __getattr__(name: str) -> Any:
+    # MetricsObserver subclasses ASMObserver, and repro.core.asm itself
+    # imports repro.obs for Telemetry — resolve lazily to break the
+    # import cycle.
+    if name == "MetricsObserver":
+        from repro.obs.observer import MetricsObserver
+
+        return MetricsObserver
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,153 @@
+"""Run provenance: the :class:`RunManifest`.
+
+Every exported telemetry artifact (metrics JSON, event JSONL) embeds a
+manifest so it is self-describing: which algorithm ran, with which
+parameters (ε/δ/α/k...), on which workload and seed, at what scale,
+from which source tree (``git describe`` when available), when, and
+under which Python.
+
+Example
+-------
+>>> m = RunManifest.capture(algorithm="asm", workload="complete",
+...                         n=32, seed=0, params={"eps": 0.25})
+>>> m.finish()
+>>> d = m.to_dict()
+>>> d["algorithm"], d["workload"], d["params"]["eps"]
+('asm', 'complete', 0.25)
+>>> bool(d["started_at"]) and bool(d["finished_at"])
+True
+"""
+
+from __future__ import annotations
+
+import platform
+import shutil
+import subprocess
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Dict, Optional
+
+__all__ = ["RunManifest", "git_describe"]
+
+
+def git_describe(cwd: Optional[str] = None) -> Optional[str]:
+    """``git describe --always --dirty`` of ``cwd``, or None.
+
+    Returns None when git is absent, the directory is not a work tree,
+    or the call fails for any other reason — provenance is best-effort
+    and must never break a run.
+    """
+    if shutil.which("git") is None:
+        return None
+    try:
+        proc = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+@dataclass
+class RunManifest:
+    """Provenance of one instrumented run.
+
+    Attributes
+    ----------
+    algorithm:
+        Algorithm / protocol name ("asm", "rand-asm", ...).
+    params:
+        Algorithm parameters (ε, and k/δ/α/failure_prob as relevant).
+    workload, seed, n:
+        Instance provenance: generator registry name (or
+        ``file:<path>``), its seed, and the instance scale.
+    git:
+        ``git describe`` of the source tree, when available.
+    started_at / finished_at:
+        UTC ISO-8601 timestamps; ``finished_at`` is set by
+        :meth:`finish`.
+    python_version:
+        ``platform.python_version()`` of the interpreter that ran.
+    extra:
+        Free-form additional provenance (CLI flags, notes).
+    """
+
+    algorithm: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    workload: Optional[str] = None
+    seed: Optional[int] = None
+    n: Optional[int] = None
+    git: Optional[str] = None
+    started_at: str = ""
+    finished_at: Optional[str] = None
+    python_version: str = ""
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @staticmethod
+    def _now() -> str:
+        return datetime.now(timezone.utc).isoformat()
+
+    @classmethod
+    def capture(
+        cls,
+        algorithm: str,
+        *,
+        params: Optional[Dict[str, Any]] = None,
+        workload: Optional[str] = None,
+        seed: Optional[int] = None,
+        n: Optional[int] = None,
+        **extra: Any,
+    ) -> "RunManifest":
+        """Start a manifest now: stamps start time, Python, and git."""
+        return cls(
+            algorithm=algorithm,
+            params=dict(params or {}),
+            workload=workload,
+            seed=seed,
+            n=n,
+            git=git_describe(),
+            started_at=cls._now(),
+            python_version=platform.python_version(),
+            extra=dict(extra),
+        )
+
+    def finish(self) -> None:
+        """Stamp the end-of-run timestamp."""
+        self.finished_at = self._now()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe manifest document."""
+        return {
+            "algorithm": self.algorithm,
+            "params": dict(self.params),
+            "workload": self.workload,
+            "seed": self.seed,
+            "n": self.n,
+            "git": self.git,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "python_version": self.python_version,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":
+        """Rebuild a manifest from :meth:`to_dict` output."""
+        return cls(
+            algorithm=data.get("algorithm", ""),
+            params=dict(data.get("params", {})),
+            workload=data.get("workload"),
+            seed=data.get("seed"),
+            n=data.get("n"),
+            git=data.get("git"),
+            started_at=data.get("started_at", ""),
+            finished_at=data.get("finished_at"),
+            python_version=data.get("python_version", ""),
+            extra=dict(data.get("extra", {})),
+        )

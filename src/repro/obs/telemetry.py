@@ -1,0 +1,69 @@
+"""The :class:`Telemetry` bundle: metrics + events + manifest.
+
+Instrumented components (:class:`~repro.core.asm.ASMEngine`,
+:class:`~repro.congest.simulator.Simulator`, the CLI) take one
+``telemetry`` object instead of three separate sinks.  The module-level
+:data:`NULL_TELEMETRY` is the shared disabled instance every component
+defaults to — all of its operations are no-ops, so uninstrumented runs
+pay (nearly) nothing.
+
+Example
+-------
+>>> tel = Telemetry.create()
+>>> with tel.timer("phase.example"):
+...     pass
+>>> tel.events.emit("congest_round", round=1, messages=0, bits=0)
+>>> tel.enabled, NULL_TELEMETRY.enabled
+(True, False)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.events import EventLog
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Telemetry", "NULL_TELEMETRY"]
+
+
+@dataclass
+class Telemetry:
+    """One run's telemetry sinks: registry, event log, manifest."""
+
+    metrics: MetricsRegistry
+    events: EventLog
+    manifest: Optional[RunManifest] = None
+
+    @property
+    def enabled(self) -> bool:
+        """Whether either sink records anything."""
+        return self.metrics.enabled or self.events.enabled
+
+    def timer(self, name: str):
+        """Shorthand for ``self.metrics.timer(name)``."""
+        return self.metrics.timer(name)
+
+    @classmethod
+    def create(cls, manifest: Optional[RunManifest] = None) -> "Telemetry":
+        """A fresh enabled bundle (one per run)."""
+        return cls(
+            metrics=MetricsRegistry(enabled=True),
+            events=EventLog(enabled=True),
+            manifest=manifest,
+        )
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """A fresh disabled bundle (prefer :data:`NULL_TELEMETRY`)."""
+        return cls(
+            metrics=MetricsRegistry(enabled=False),
+            events=EventLog(enabled=False),
+            manifest=None,
+        )
+
+
+#: Shared no-op bundle; the default for every instrumented component.
+NULL_TELEMETRY = Telemetry.disabled()

@@ -116,6 +116,101 @@ class TestCommands:
         assert "instability" in payload
         assert payload["instability"] <= 0.5
 
+    def test_run_metrics_and_events_export(self, tmp_path, capsys):
+        from repro.io import load_events, load_metrics
+
+        metrics_path = tmp_path / "m.json"
+        events_path = tmp_path / "e.jsonl"
+        code = main(
+            [
+                "run", "--algorithm", "asm", "--workload", "complete",
+                "--n", "12", "--eps", "0.5", "--seed", "3",
+                "--metrics-out", str(metrics_path),
+                "--events-out", str(events_path),
+            ]
+        )
+        assert code == 0
+        doc = load_metrics(metrics_path)
+        manifest = doc["manifest"]
+        assert manifest["algorithm"] == "asm"
+        assert manifest["params"]["eps"] == 0.5
+        assert manifest["workload"] == "complete"
+        assert manifest["seed"] == 3
+        assert manifest["n"] == 12
+        assert manifest["finished_at"] is not None
+        hists = doc["metrics"]["histograms"]
+        for phase in ("propose", "accept_reject", "maximal_matching"):
+            assert {"p50", "p95", "max"} <= set(hists[f"asm.phase.{phase}"])
+        assert doc["metrics"]["counters"]["asm.proposal_rounds"] > 0
+        assert doc["metrics"]["gauges"]["run.wall_seconds"] > 0
+        ev_manifest, records = load_events(events_path)
+        assert ev_manifest["algorithm"] == "asm"
+        kinds = {r["kind"] for r in records}
+        assert "proposal_round" in kinds
+        # the export notice goes to stderr, keeping stdout clean
+        captured = capsys.readouterr()
+        assert "wrote metrics to" in captured.err
+        assert "events to" in captured.err
+        assert "wrote metrics to" not in captured.out
+
+    def test_run_json_with_metrics_out_keeps_stdout_json(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        code = main(
+            [
+                "run", "--n", "10", "--eps", "0.5", "--json",
+                "--metrics-out", str(tmp_path / "m.json"),
+            ]
+        )
+        assert code == 0
+        json.loads(capsys.readouterr().out)  # stdout stays parseable
+
+    def test_run_gs_metrics_export(self, tmp_path):
+        from repro.io import load_metrics
+
+        metrics_path = tmp_path / "m.json"
+        assert main(
+            [
+                "run", "--algorithm", "gale-shapley", "--n", "10",
+                "--metrics-out", str(metrics_path),
+            ]
+        ) == 0
+        doc = load_metrics(metrics_path)
+        assert doc["manifest"]["algorithm"] == "gale-shapley"
+        assert doc["metrics"]["counters"]["gs.proposals"] > 0
+        assert doc["metrics"]["gauges"]["gs.matching_size"] == 10
+
+    def test_congest_metrics_and_events_export(self, tmp_path):
+        from repro.io import load_events, load_metrics
+
+        metrics_path = tmp_path / "m.json"
+        events_path = tmp_path / "e.jsonl"
+        code = main(
+            [
+                "congest", "--protocol", "asm", "--n", "5",
+                "--inner", "3", "--outer", "2", "--mm-iterations", "8",
+                "--metrics-out", str(metrics_path),
+                "--events-out", str(events_path),
+            ]
+        )
+        assert code == 0
+        doc = load_metrics(metrics_path)
+        assert doc["manifest"]["algorithm"] == "congest-asm"
+        counters = doc["metrics"]["counters"]
+        assert counters["congest.rounds"] > 0
+        assert counters["congest.messages"] > 0
+        assert "congest.round_seconds" in doc["metrics"]["histograms"]
+        manifest, records = load_events(events_path)
+        assert manifest["algorithm"] == "congest-asm"
+        kinds = {r["kind"] for r in records}
+        assert {"congest_round", "message_batch"} <= kinds
+        round_total = sum(
+            r["messages"] for r in records if r["kind"] == "congest_round"
+        )
+        assert round_total == counters["congest.messages"]
+
     def test_report_quick(self, capsys):
         assert main(["report", "--quick"]) == 0
         out = capsys.readouterr().out

@@ -26,6 +26,11 @@ MODULE_NAMES = [
     "repro.graphs",
     "repro.mm.bipartite",
     "repro.mm.greedy",
+    "repro.obs.events",
+    "repro.obs.manifest",
+    "repro.obs.metrics",
+    "repro.obs.observer",
+    "repro.obs.telemetry",
 ]
 
 MODULES = [importlib.import_module(name) for name in MODULE_NAMES]

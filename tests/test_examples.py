@@ -24,6 +24,9 @@ EXAMPLES = {
     "scaling_study.py": ([], "log-log slopes"),
     "trace_timeline.py": (["20", "0.4"], "convergence summary"),
     "custom_oracle.py": ([], "pluggable oracles"),
+    "metrics_export.py": (
+        ["24", "0.4"], "side-by-side from exported metrics"
+    ),
 }
 
 

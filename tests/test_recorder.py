@@ -115,6 +115,35 @@ class TestRecorder:
         assert rec.counts_by_kind["ACCEPT"] > 0
         assert "MM_POINT" in rec.counts_by_kind
 
+    def test_kind_filter_and_cap_interaction(self):
+        """Filtered-out kinds count in aggregates but never evict
+        recorded events: with ``kinds=["PONG"]`` and room for 2 events,
+        all 3 PONGs compete for the buffer while the 3 PINGs are only
+        tallied."""
+        rec = MessageRecorder(max_events=2, kinds=["PONG"])
+        sim = ping_pong_setup(rec)
+        assert [e.kind for e in rec.events] == ["PONG", "PONG"]
+        # The two newest PONGs survive; only the oldest PONG dropped.
+        assert rec.dropped_events == 1
+        # Aggregates still see everything, filtered kinds included.
+        assert rec.counts_by_kind["PING"] == 3
+        assert rec.total_messages == sim.stats.messages == 6
+
+    def test_busiest_round_prefers_earliest_on_tie(self):
+        rec = MessageRecorder()
+        ping_pong_setup(rec)
+        # Rounds 2 and 3 both carry PING+PONG (2 messages each);
+        # ties break toward the earliest round.
+        assert rec.counts_by_round[2] == rec.counts_by_round[3] == 2
+        assert rec.busiest_round() == 2
+
+    def test_counts_by_round_kind(self):
+        rec = MessageRecorder(kinds=["PONG"])
+        ping_pong_setup(rec)
+        # Per-(round, kind) tallies ignore the recording filter too.
+        assert rec.counts_by_round_kind[(1, "PING")] == 1
+        assert rec.counts_by_round_kind[(2, "PONG")] == 1
+
     def test_minimal_protocol_plumbing(self):
         rec = MessageRecorder()
         g = Graph()

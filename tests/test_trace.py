@@ -83,3 +83,22 @@ class TestTraceObserver:
         trace = TraceObserver()
         rand_asm(complete_uniform(12, seed=6), 0.4, seed=1, observer=trace)
         assert trace.proposal_rounds
+
+    def test_all_unmatched_summary_has_no_90pct_round(self):
+        """Regression: a run whose final matching is empty must report
+        ``rounds_to_90pct_matched = None``, not round 1 (0.9 * 0 == 0 is
+        trivially reached immediately)."""
+        from dataclasses import fields
+
+        from repro.analysis.trace import ProposalRoundRecord
+
+        trace = TraceObserver()
+        zeros = {f.name: 0 for f in fields(ProposalRoundRecord)}
+        for i in range(3):
+            trace.telemetry.events.emit(
+                "proposal_round", **{**zeros, "index": i}
+            )
+        summary = trace.convergence_summary()
+        assert summary["proposal_rounds"] == 3
+        assert summary["final_matching_size"] == 0
+        assert summary["rounds_to_90pct_matched"] is None
