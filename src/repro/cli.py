@@ -12,6 +12,9 @@ Subcommands
     this regenerates the numbers recorded in EXPERIMENTS.md.
 ``list``
     List available experiments, workloads and algorithms.
+``lint``
+    Statically analyze the source tree for CONGEST-model compliance,
+    determinism, and telemetry hygiene (see ``docs/static_analysis.md``).
 
 Telemetry
 ---------
@@ -384,6 +387,36 @@ def _cmd_congest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static CONGEST-compliance / determinism analyzer."""
+    from repro.lint import format_json, format_text, load_config, run_lint
+
+    config = load_config(args.config)
+    if args.disable:
+        disabled = [
+            part.strip()
+            for chunk in args.disable
+            for part in chunk.split(",")
+            if part.strip()
+        ]
+        config = config.with_disabled(*disabled)
+    if args.list_rules:
+        from repro.lint import all_rules
+
+        for rule in sorted(all_rules(), key=lambda r: r.rule_id):
+            marker = (
+                " " if config.rule_enabled(rule.rule_id, rule.family) else "-"
+            )
+            print(f"{marker} {rule.rule_id} [{rule.family}] {rule.description}")
+        return 0
+    report = run_lint(args.paths or None, config)
+    if args.format == "json":
+        print(format_json(report))
+    else:
+        print(format_text(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("experiments:", ", ".join(sorted(ALL_EXPERIMENTS)))
     print("workloads:  ", ", ".join(sorted(GENERATORS)))
@@ -487,6 +520,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="matching-phase iteration budget")
     _add_telemetry_flags(con_p)
     con_p.set_defaults(func=_cmd_congest)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="statically check CONGEST compliance, determinism, and "
+        "telemetry hygiene",
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to analyze (default: [tool.repro-lint] "
+        "paths, falling back to src/repro)",
+    )
+    lint_p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (json is what the CI gate consumes)",
+    )
+    lint_p.add_argument(
+        "--config",
+        default=None,
+        metavar="PYPROJECT",
+        help="pyproject.toml with a [tool.repro-lint] table "
+        "(default: ./pyproject.toml when present)",
+    )
+    lint_p.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule ids or families to disable "
+        "(repeatable), e.g. --disable DET001,TEL",
+    )
+    lint_p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules ('-' marks disabled) and exit",
+    )
+    lint_p.set_defaults(func=_cmd_lint)
 
     list_p = sub.add_parser("list", help="list experiments and workloads")
     list_p.set_defaults(func=_cmd_list)

@@ -16,14 +16,16 @@ implementations of distributed Gale–Shapley, the maximal-matching
 algorithms, and ASM itself, cross-validated against the logical engine.
 """
 
-from repro.congest.message import Message
+from repro.congest.message import MESSAGE_SCHEMAS, Message, MessageSchema
 from repro.congest.recorder import MessageEvent, MessageRecorder
 from repro.congest.simulator import SimulationStats, Simulator
 
 __all__ = [
+    "MESSAGE_SCHEMAS",
     "Message",
     "MessageEvent",
     "MessageRecorder",
+    "MessageSchema",
     "SimulationStats",
     "Simulator",
 ]

@@ -151,30 +151,41 @@ class Simulator:
             v: {} for v in self.programs
         }
         round_messages = 0
+        # 1-based index of the round being executed, used so runtime
+        # diagnostics can name where the protocol went wrong and point
+        # at the static rule that would have caught it pre-run.
+        executing_round = self.stats.rounds + 1
         for sender, outbox in outboxes.items():
             for recipient, msg in outbox.items():
                 if not isinstance(msg, Message):
                     raise ProtocolViolationError(
-                        f"node {sender!r} sent a non-Message object "
-                        f"({type(msg).__name__}) to {recipient!r}"
+                        f"round {executing_round}: node {sender!r} sent a "
+                        f"non-Message object ({type(msg).__name__}) to "
+                        f"{recipient!r} [static check: repro.lint rule "
+                        f"MSG001; see docs/static_analysis.md]"
                     )
                 if not self.graph.has_edge(sender, recipient):
                     raise ProtocolViolationError(
-                        f"node {sender!r} sent a message to non-neighbor "
-                        f"{recipient!r}"
+                        f"round {executing_round}: node {sender!r} sent a "
+                        f"message to non-neighbor {recipient!r} — CONGEST "
+                        f"locality violation [static check: repro.lint rule "
+                        f"CONGEST002; see docs/static_analysis.md]"
                     )
                 bits = msg.size_bits(self.n)
                 if bits > self.max_message_bits:
                     raise ProtocolViolationError(
-                        f"message {msg.kind!r} from {sender!r} uses {bits} "
-                        f"bits; cap is {self.max_message_bits} (O(log n))"
+                        f"round {executing_round}: message {msg.kind!r} "
+                        f"from {sender!r} to {recipient!r} uses {bits} "
+                        f"bits; cap is {self.max_message_bits} (O(log n)) "
+                        f"[static check: repro.lint rule MSG002/MSG003 "
+                        f"bounds payloads against MESSAGE_SCHEMAS; see "
+                        f"docs/static_analysis.md]"
                     )
                 if recipient in new_inboxes:
                     new_inboxes[recipient][sender] = msg
                 if self.recorder is not None:
-                    # 1-based round index of the round being executed.
                     self.recorder.on_message(
-                        self.stats.rounds + 1, sender, recipient, msg
+                        executing_round, sender, recipient, msg
                     )
                 round_messages += 1
                 self.stats.messages += 1

@@ -388,7 +388,10 @@ class ASMEngine:
             for m in range(self.n_men):
                 if self.removed[m] or not self.active[m]:
                     continue
-                for w in self.active[m]:
+                # Canonical (sorted) proposal order: A is a set, and the
+                # run must replay identically regardless of how it was
+                # assembled (DET001).
+                for w in sorted(self.active[m]):
                     proposals.setdefault(w, []).append(m)
                 n_proposals += len(self.active[m])
                 max_work = max(max_work, len(self.active[m]))
@@ -467,7 +470,9 @@ class ASMEngine:
                         f"woman {w} traded up to man {m0} but did not "
                         f"reject previous partner {old}"
                     )
-                for m in rejected:
+                # Sorted so the rejections dict has canonical insertion
+                # order no matter how the quantile sets hash (DET001).
+                for m in sorted(rejected):
                     wq.remove(m)
                     rejections.setdefault(m, []).append(w)
                 n_rejects += len(rejected)

@@ -12,7 +12,7 @@ algorithms is ``M = {(p(w), w) | w ∈ X, p(w) ≠ ∅}``.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, Iterator, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
 from repro.core.preferences import PreferenceProfile
 from repro.errors import InvalidMatchingError
@@ -58,8 +58,12 @@ class Matching:
                 raise InvalidMatchingError(f"woman {w} is matched more than once")
             man_to_woman[m] = w
             woman_to_man[w] = m
-        self._man_to_woman = man_to_woman
-        self._woman_to_man = woman_to_man
+        # Canonicalize once: insertion order of the internal dicts is
+        # sorted by player index, so every iteration surface (pairs(),
+        # items() in validate_against, repr) is deterministic no matter
+        # what order — or container — the constructor received (DET001).
+        self._man_to_woman = dict(sorted(man_to_woman.items()))
+        self._woman_to_man = dict(sorted(woman_to_man.items()))
 
     # ------------------------------------------------------------------
     # Queries
@@ -86,15 +90,18 @@ class Matching:
         return self._man_to_woman.get(m) == w
 
     def pairs(self) -> Iterator[Tuple[int, int]]:
-        """Iterate over ``(man, woman)`` pairs in man-index order."""
-        for m in sorted(self._man_to_woman):
-            yield (m, self._man_to_woman[m])
+        """Iterate over ``(man, woman)`` pairs in man-index order.
 
-    def matched_men(self) -> frozenset:
+        The internal dicts are insertion-ordered by man index at
+        construction, so this needs no per-call sort.
+        """
+        yield from self._man_to_woman.items()
+
+    def matched_men(self) -> FrozenSet[int]:
         """The set of matched men."""
         return frozenset(self._man_to_woman)
 
-    def matched_women(self) -> frozenset:
+    def matched_women(self) -> FrozenSet[int]:
         """The set of matched women."""
         return frozenset(self._woman_to_man)
 

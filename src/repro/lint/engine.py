@@ -1,0 +1,209 @@
+"""The rule engine: source model, rule registry, and the lint driver.
+
+Rules are :class:`Rule` subclasses registered with :func:`register`.
+Each rule names a *scope* (a key into
+:attr:`repro.lint.config.LintConfig.scopes`) restricting which files it
+visits, and reports :class:`~repro.lint.violations.Violation` instances
+against a parsed :class:`SourceFile`.
+
+Suppression
+-----------
+A trailing comment suppresses named rules on its line::
+
+    risky_line()  # lint: ignore[DET001]
+    other_line()  # lint: ignore[DET001,TEL002]
+
+A bare ``# lint: ignore`` suppresses every rule on that line.
+Suppressed findings are counted (``LintReport.suppressed``) but not
+reported.  Comments are located with :mod:`tokenize`, so the marker is
+never misread inside a string literal.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Type, Union
+
+from repro.lint.config import LintConfig
+from repro.lint.violations import LintReport, Violation
+
+__all__ = [
+    "SourceFile",
+    "Rule",
+    "register",
+    "all_rules",
+    "rule_families",
+    "run_lint",
+]
+
+# Matches one suppression marker inside a comment token.
+_SUPPRESS_RE = re.compile(r"lint:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+# Sentinel rule id meaning "every rule" (bare ``# lint: ignore``).
+_ALL = "*"
+
+
+class SourceFile:
+    """One parsed Python source file plus its suppression table."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.tree = ast.parse(text, filename=path)
+        self.suppressions: Dict[int, FrozenSet[str]] = self._find_suppressions(
+            text
+        )
+
+    @staticmethod
+    def _find_suppressions(text: str) -> Dict[int, FrozenSet[str]]:
+        table: Dict[int, FrozenSet[str]] = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = _SUPPRESS_RE.search(tok.string)
+                if match is None:
+                    continue
+                names = match.group(1)
+                if names is None:
+                    rules = frozenset((_ALL,))
+                else:
+                    rules = frozenset(
+                        part.strip()
+                        for part in names.split(",")
+                        if part.strip()
+                    )
+                line = tok.start[0]
+                table[line] = table.get(line, frozenset()) | rules
+        except tokenize.TokenError:
+            pass
+        return table
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        """Whether a suppression comment covers this violation."""
+        rules = self.suppressions.get(violation.line)
+        if rules is None:
+            return False
+        return _ALL in rules or violation.rule in rules
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`rule_id`, :attr:`family`, :attr:`scope`, and
+    :attr:`description`, and implement :meth:`check`.
+    """
+
+    rule_id: str = ""
+    family: str = ""
+    scope: str = "library"
+    description: str = ""
+
+    def check(self, src: SourceFile, config: LintConfig) -> Iterator[Violation]:
+        """Yield violations found in ``src``."""
+        raise NotImplementedError
+
+    def violation(
+        self, src: SourceFile, node: ast.AST, message: str
+    ) -> Violation:
+        """A violation of this rule at ``node``'s location."""
+        return Violation(
+            path=src.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
+        )
+
+
+_REGISTRY: List[Type[Rule]] = []
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.rule_id or not rule_cls.family:
+        raise ValueError(f"{rule_cls.__name__} must set rule_id and family")
+    if any(r.rule_id == rule_cls.rule_id for r in _REGISTRY):
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
+    _REGISTRY.append(rule_cls)
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, importing rule modules."""
+    # Importing the package's rule modules populates the registry.
+    import repro.lint.rules  # noqa: F401
+
+    return [cls() for cls in _REGISTRY]
+
+
+def rule_families() -> FrozenSet[str]:
+    """The set of registered rule families."""
+    return frozenset(rule.family for rule in all_rules())
+
+
+def _iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    seen = set()
+    for entry in paths:
+        root = Path(entry)
+        if root.is_file():
+            candidates: Iterable[Path] = [root]
+        else:
+            candidates = sorted(root.rglob("*.py"))
+        for path in candidates:
+            if path.suffix == ".py" and path not in seen:
+                seen.add(path)
+                yield path
+
+
+def run_lint(
+    paths: Optional[Sequence[Union[str, Path]]] = None,
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    """Run every enabled rule over the Python files under ``paths``.
+
+    ``paths`` defaults to the configuration's path set; ``config``
+    defaults to :class:`~repro.lint.config.LintConfig` defaults (no
+    pyproject lookup — callers load one explicitly via
+    :func:`repro.lint.config.load_config`).
+    """
+    config = config if config is not None else LintConfig()
+    targets = list(paths) if paths else list(config.paths)
+    rules = [
+        rule
+        for rule in all_rules()
+        if config.rule_enabled(rule.rule_id, rule.family)
+    ]
+    report = LintReport(rules_run=tuple(r.rule_id for r in rules))
+    for path in _iter_python_files(targets):
+        posix = path.as_posix()
+        applicable = [r for r in rules if config.in_scope(r.scope, posix)]
+        if not applicable:
+            continue
+        report.files_scanned += 1
+        try:
+            src = SourceFile(posix, path.read_text())
+        except SyntaxError as exc:
+            report.violations.append(
+                Violation(
+                    path=posix,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    rule="E000",
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        for rule in applicable:
+            for violation in rule.check(src, config):
+                if src.is_suppressed(violation):
+                    report.suppressed += 1
+                else:
+                    report.violations.append(violation)
+    report.violations.sort()
+    return report

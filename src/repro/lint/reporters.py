@@ -1,0 +1,41 @@
+"""Report formatting for the analyzer: text and JSON.
+
+Both formats render the same :class:`~repro.lint.violations.LintReport`
+payload; JSON is what the CI gate consumes (``repro-asm lint --format
+json``), text is for humans.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.lint.violations import LintReport
+
+__all__ = ["format_text", "format_json"]
+
+
+def format_text(report: LintReport) -> str:
+    """Human-readable report: one line per violation plus a summary."""
+    lines: List[str] = [v.format() for v in sorted(report.violations)]
+    counts = report.by_rule()
+    if counts:
+        breakdown = ", ".join(f"{rule}: {n}" for rule, n in counts.items())
+        lines.append("")
+        lines.append(
+            f"{len(report.violations)} violation(s) in "
+            f"{report.files_scanned} file(s) ({breakdown}); "
+            f"{report.suppressed} suppressed"
+        )
+    else:
+        lines.append(
+            f"ok: {report.files_scanned} file(s), "
+            f"{len(report.rules_run)} rule(s), "
+            f"{report.suppressed} suppression(s)"
+        )
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """The JSON payload the CI lint gate consumes."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)

@@ -1,0 +1,34 @@
+"""Rule modules; importing this package populates the registry.
+
+Families
+--------
+``CONGEST``
+    CONGEST-locality: node-program code may only act on node-local
+    state (:mod:`repro.lint.rules.congest_locality`).
+``MSG``
+    Bounded messages: every :class:`repro.congest.message.Message`
+    construction must be statically boundable against the declared
+    schemas (:mod:`repro.lint.rules.bounded_message`).
+``DET``
+    Determinism: no unordered set iteration or global RNG use in the
+    algorithm layers (:mod:`repro.lint.rules.determinism`).
+``TEL``
+    Telemetry hygiene: no wall-clock reads, ``print``, or direct file
+    exports in library code (:mod:`repro.lint.rules.telemetry_hygiene`).
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import (  # noqa: F401
+    bounded_message,
+    congest_locality,
+    determinism,
+    telemetry_hygiene,
+)
+
+__all__ = [
+    "bounded_message",
+    "congest_locality",
+    "determinism",
+    "telemetry_hygiene",
+]

@@ -1,0 +1,204 @@
+"""Bounded-message rules (family ``MSG``).
+
+The CONGEST model allows ``O(log n)`` bits per message; the runtime
+Simulator enforces this round by round
+(:class:`~repro.errors.ProtocolViolationError`), but only a static pass
+can guarantee it *before* any round runs.  Every
+:class:`~repro.congest.message.Message` construction site must
+therefore be statically boundable:
+
+``MSG001``
+    The message ``kind`` must be a string literal — a computed kind
+    defeats both the schema check and the runtime tag accounting.
+``MSG002``
+    The payload must be a literal tuple of scalar id fields.  Raw
+    dict/list/set payloads, comprehensions, star-unpacking, and
+    arbitrary expressions of unknown length cannot be bounded at
+    ``bit_cap_factor · (⌈log₂ n⌉ + 1)`` bits statically.
+``MSG003``
+    The kind must be declared in
+    :data:`repro.congest.message.MESSAGE_SCHEMAS` and the payload must
+    fit the declared field count, so
+    :meth:`~repro.congest.message.MessageSchema.max_size_bits` bounds
+    the message for every ``n``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Rule, SourceFile, register
+from repro.lint.violations import Violation
+
+__all__ = [
+    "MessageKindLiteralRule",
+    "MessagePayloadBoundedRule",
+    "MessageSchemaDeclaredRule",
+]
+
+_UNBOUNDED_ELEMENTS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+    ast.GeneratorExp,
+    ast.Starred,
+)
+
+
+def _message_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "Message":
+            yield node
+        elif isinstance(func, ast.Attribute) and func.attr == "Message":
+            yield node
+
+
+def _kind_node(call: ast.Call) -> Optional[ast.AST]:
+    if call.args:
+        return call.args[0]
+    for kw in call.keywords:
+        if kw.arg == "kind":
+            return kw.value
+    return None
+
+
+def _payload_node(call: ast.Call) -> Optional[ast.AST]:
+    if len(call.args) > 1:
+        return call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "payload":
+            return kw.value
+    return None
+
+
+def _literal_kind(call: ast.Call) -> Optional[str]:
+    node = _kind_node(call)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _literal_payload(call: ast.Call) -> Optional[Tuple[ast.AST, ...]]:
+    node = _payload_node(call)
+    if node is None:
+        return ()
+    if isinstance(node, ast.Tuple):
+        return tuple(node.elts)
+    return None
+
+
+@register
+class MessageKindLiteralRule(Rule):
+    rule_id = "MSG001"
+    family = "MSG"
+    scope = "messages"
+    description = "Message kinds must be string literals."
+
+    def check(self, src: SourceFile, config: LintConfig) -> Iterator[Violation]:
+        for call in _message_calls(src.tree):
+            kind = _kind_node(call)
+            if kind is None:
+                yield self.violation(
+                    src, call, "Message constructed without a kind"
+                )
+            elif not (
+                isinstance(kind, ast.Constant) and isinstance(kind.value, str)
+            ):
+                yield self.violation(
+                    src,
+                    call,
+                    f"Message kind must be a string literal, got "
+                    f"{ast.unparse(kind)!r}",
+                )
+
+
+@register
+class MessagePayloadBoundedRule(Rule):
+    rule_id = "MSG002"
+    family = "MSG"
+    scope = "messages"
+    description = (
+        "Message payloads must be literal tuples of scalar id fields "
+        "(statically boundable at O(log n) bits)."
+    )
+
+    def check(self, src: SourceFile, config: LintConfig) -> Iterator[Violation]:
+        for call in _message_calls(src.tree):
+            if any(isinstance(arg, ast.Starred) for arg in call.args) or any(
+                kw.arg is None for kw in call.keywords
+            ):
+                yield self.violation(
+                    src,
+                    call,
+                    "Message constructed with */** unpacking cannot be "
+                    "statically bounded",
+                )
+                continue
+            payload = _payload_node(call)
+            if payload is None:
+                continue
+            if not isinstance(payload, ast.Tuple):
+                yield self.violation(
+                    src,
+                    call,
+                    f"Message payload must be a literal tuple of scalar "
+                    f"fields, got {ast.unparse(payload)!r} — raw "
+                    f"dict/list/dynamic payloads are not statically "
+                    f"boundable",
+                )
+                continue
+            for element in payload.elts:
+                if isinstance(element, _UNBOUNDED_ELEMENTS):
+                    yield self.violation(
+                        src,
+                        element,
+                        f"Message payload field {ast.unparse(element)!r} is "
+                        f"a container/unpacking — fields must be scalar ids",
+                    )
+
+
+@register
+class MessageSchemaDeclaredRule(Rule):
+    rule_id = "MSG003"
+    family = "MSG"
+    scope = "messages"
+    description = (
+        "Message kinds must be declared in MESSAGE_SCHEMAS with a "
+        "payload no longer than the declared field count."
+    )
+
+    def check(self, src: SourceFile, config: LintConfig) -> Iterator[Violation]:
+        from repro.congest.message import MESSAGE_SCHEMAS
+
+        for call in _message_calls(src.tree):
+            kind = _literal_kind(call)
+            if kind is None:
+                continue  # MSG001's problem
+            schema = MESSAGE_SCHEMAS.get(kind)
+            if schema is None:
+                yield self.violation(
+                    src,
+                    call,
+                    f"message kind {kind!r} is not declared in "
+                    f"repro.congest.message.MESSAGE_SCHEMAS",
+                )
+                continue
+            payload = _literal_payload(call)
+            if payload is None:
+                continue  # MSG002's problem
+            if len(payload) > schema.max_fields:
+                yield self.violation(
+                    src,
+                    call,
+                    f"message kind {kind!r} declares at most "
+                    f"{schema.max_fields} payload field(s); this site "
+                    f"passes {len(payload)}",
+                )

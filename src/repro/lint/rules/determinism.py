@@ -1,0 +1,295 @@
+"""Determinism rules (family ``DET``).
+
+Same seed, same instance ⇒ same matching is the contract every
+experiment in DESIGN.md leans on, and the property the telemetry layer
+needs to make run traces comparable.  Two things silently break it:
+
+``DET001``
+    Iterating a ``set``/``frozenset`` — iteration order is unspecified
+    and (for hash-randomized element types) varies across processes.
+    Wrap the iterable in ``sorted()`` or use an insertion-ordered
+    structure.  Detection is a lightweight flow pass: set literals and
+    comprehensions, ``set()``/``frozenset()`` calls, set-algebra
+    binops (``|  &  -  ^``) with a set operand, names bound to any of
+    those, parameters/attributes annotated ``Set``/``FrozenSet`` (and
+    subscripts of ``List[Set[...]]``-style containers).
+``DET002``
+    The module-level ``random.*`` functions draw from one shared,
+    ambiently-seeded global stream; any library call reseeds or
+    interleaves it invisibly.  Use an explicitly seeded
+    ``random.Random`` instance (the CONGEST protocols derive one per
+    node from the run seed).
+
+Scope: ``src/repro/core``, ``src/repro/mm``, ``src/repro/baselines`` —
+the layers whose outputs experiments replay.  ``dict`` iteration is
+deliberately *not* flagged: Python 3.7+ dicts are insertion-ordered,
+so a deterministic insertion sequence gives a deterministic iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Rule, SourceFile, register
+from repro.lint.violations import Violation
+
+__all__ = ["SetIterationRule", "GlobalRandomRule"]
+
+_SET_TYPE_NAMES = frozenset({"Set", "FrozenSet", "set", "frozenset"})
+_CONTAINER_TYPE_NAMES = frozenset(
+    {"List", "Dict", "Tuple", "Sequence", "Mapping", "list", "dict", "tuple"}
+)
+_SET_BINOPS = (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+# Iteration through these is order-preserving; recurse into the argument.
+_TRANSPARENT_CALLS = frozenset({"enumerate", "list", "tuple", "reversed", "iter"})
+# These consume their iterable order-insensitively.
+_ORDER_SAFE_CALLS = frozenset({"sorted", "min", "max", "sum", "len", "any", "all"})
+
+
+def _annotation_kind(annotation: Optional[ast.AST]) -> Optional[str]:
+    """``"set"``, ``"container_of_set"`` or ``None`` for an annotation."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Name):
+        return "set" if annotation.id in _SET_TYPE_NAMES else None
+    if isinstance(annotation, ast.Attribute):
+        return "set" if annotation.attr in _SET_TYPE_NAMES else None
+    if isinstance(annotation, ast.Subscript):
+        base = annotation.value
+        base_name = (
+            base.id
+            if isinstance(base, ast.Name)
+            else base.attr
+            if isinstance(base, ast.Attribute)
+            else None
+        )
+        if base_name in _SET_TYPE_NAMES:
+            return "set"
+        if base_name in _CONTAINER_TYPE_NAMES:
+            inner = annotation.slice
+            elements = (
+                list(inner.elts) if isinstance(inner, ast.Tuple) else [inner]
+            )
+            # The element/value position typing a set makes subscripts
+            # of the container set-typed (e.g. List[Set[int]]).
+            if elements and _annotation_kind(elements[-1]) == "set":
+                return "container_of_set"
+    return None
+
+
+class _ModuleSetTypes:
+    """Set-typed attributes and names declared by annotation."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        # "self.<attr>" annotations anywhere in the module's classes.
+        self.attrs: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.AnnAssign):
+                continue
+            kind = _annotation_kind(node.annotation)
+            if kind is None:
+                continue
+            target = node.target
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                self.attrs[target.attr] = kind
+
+
+class _FunctionSetEnv:
+    """Names bound to set values anywhere within one function."""
+
+    def __init__(self, fn: ast.AST, module_types: _ModuleSetTypes) -> None:
+        self.module_types = module_types
+        self.set_names: Set[str] = set()
+        self.container_names: Set[str] = set()
+        args = getattr(fn, "args", None)
+        if args is not None:
+            for arg in list(args.args) + list(args.kwonlyargs):
+                kind = _annotation_kind(arg.annotation)
+                if kind == "set":
+                    self.set_names.add(arg.arg)
+                elif kind == "container_of_set":
+                    self.container_names.add(arg.arg)
+        # Fixed-point over assignments: `a = set()` then `b = a | x`.
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(fn):
+                targets: List[ast.AST] = []
+                value: Optional[ast.AST] = None
+                if isinstance(node, ast.Assign):
+                    targets, value = list(node.targets), node.value
+                elif isinstance(node, ast.AnnAssign):
+                    kind = _annotation_kind(node.annotation)
+                    if kind and isinstance(node.target, ast.Name):
+                        bucket = (
+                            self.set_names
+                            if kind == "set"
+                            else self.container_names
+                        )
+                        if node.target.id not in bucket:
+                            bucket.add(node.target.id)
+                            changed = True
+                    continue
+                else:
+                    continue
+                if value is None or not self.is_set_expr(value):
+                    continue
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id not in self.set_names
+                    ):
+                        self.set_names.add(target.id)
+                        changed = True
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        """Whether ``node`` statically looks set-valued."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and self.module_types.attrs.get(node.attr) == "set"
+            ):
+                return True
+            return False
+        if isinstance(node, ast.Subscript):
+            base = node.value
+            if (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+                and self.module_types.attrs.get(base.attr) == "container_of_set"
+            ):
+                return True
+            if isinstance(base, ast.Name) and base.id in self.container_names:
+                return True
+        return False
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _iteration_sites(fn: ast.AST) -> Iterator[ast.AST]:
+    """Iterable expressions of every for-loop and comprehension."""
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for generator in node.generators:
+                yield generator.iter
+
+
+def _unwrap_transparent(node: ast.AST) -> Optional[ast.AST]:
+    """Resolve the effective iterable, honoring order-safe wrappers.
+
+    Returns ``None`` when the iterable is consumed order-insensitively
+    (``sorted(...)`` and friends).
+    """
+    while (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.args
+    ):
+        if node.func.id in _ORDER_SAFE_CALLS:
+            return None
+        if node.func.id in _TRANSPARENT_CALLS:
+            node = node.args[0]
+            continue
+        break
+    return node
+
+
+@register
+class SetIterationRule(Rule):
+    rule_id = "DET001"
+    family = "DET"
+    scope = "determinism"
+    description = (
+        "No iteration over set/frozenset values — order is unspecified; "
+        "wrap in sorted() or use an insertion-ordered structure."
+    )
+
+    def check(self, src: SourceFile, config: LintConfig) -> Iterator[Violation]:
+        module_types = _ModuleSetTypes(src.tree)
+        for fn in _functions(src.tree):
+            env = _FunctionSetEnv(fn, module_types)
+            for site in _iteration_sites(fn):
+                effective = _unwrap_transparent(site)
+                if effective is None:
+                    continue
+                if env.is_set_expr(effective):
+                    yield self.violation(
+                        src,
+                        site,
+                        f"iteration over set-valued "
+                        f"{ast.unparse(effective)!r} has unspecified "
+                        f"order; wrap in sorted() or keep an "
+                        f"insertion-ordered structure",
+                    )
+
+
+@register
+class GlobalRandomRule(Rule):
+    rule_id = "DET002"
+    family = "DET"
+    scope = "determinism"
+    description = (
+        "No module-level random.* calls — use an explicitly seeded "
+        "random.Random instance."
+    )
+
+    _INSTANCE_FACTORIES = frozenset({"Random", "SystemRandom"})
+
+    def check(self, src: SourceFile, config: LintConfig) -> Iterator[Violation]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name not in self._INSTANCE_FACTORIES
+                ]
+                if bad:
+                    yield self.violation(
+                        src,
+                        node,
+                        f"importing {', '.join(bad)} from random binds the "
+                        f"shared global RNG; use a seeded random.Random "
+                        f"instance",
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "random"
+                    and func.attr not in self._INSTANCE_FACTORIES
+                ):
+                    yield self.violation(
+                        src,
+                        node,
+                        f"random.{func.attr}() draws from the shared global "
+                        f"RNG (unseeded across runs); use a seeded "
+                        f"random.Random instance",
+                    )

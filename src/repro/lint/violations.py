@@ -1,0 +1,73 @@
+"""Violation and report types for the static analyzer.
+
+A :class:`Violation` is one rule firing at one source location; a
+:class:`LintReport` is everything one :func:`repro.lint.engine.run_lint`
+invocation produced.  Both are plain data and JSON-serializable, so the
+CLI's ``--format json`` output and the pytest self-check share one
+representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["Violation", "LintReport"]
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule firing at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` — the text-reporter line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable record."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintReport:
+    """Everything one analyzer run produced."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: Tuple[str, ...] = ()
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run found no violations."""
+        return not self.violations
+
+    def by_rule(self) -> Dict[str, int]:
+        """Violation counts keyed by rule id (sorted by rule id)."""
+        counts: Dict[str, int] = {}
+        for v in sorted(self.violations):
+            counts[v.rule] = counts.get(v.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable summary (the ``--format json`` payload)."""
+        return {
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "rules_run": list(self.rules_run),
+            "suppressed": self.suppressed,
+            "counts": self.by_rule(),
+            "violations": [v.to_dict() for v in sorted(self.violations)],
+        }

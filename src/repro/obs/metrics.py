@@ -30,7 +30,7 @@ Example
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 __all__ = [
     "MetricsRegistry",
@@ -144,7 +144,7 @@ class MetricsRegistry:
             return
         self.histograms.setdefault(name, []).append(value)
 
-    def timer(self, name: str):
+    def timer(self, name: str) -> Union[Timer, _NullTimer]:
         """A context manager timing its body into histogram ``name``."""
         if not self.enabled:
             return _NULL_TIMER

@@ -20,11 +20,11 @@ Example
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.obs.events import EventLog
 from repro.obs.manifest import RunManifest
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, Timer, _NullTimer
 
 __all__ = ["Telemetry", "NULL_TELEMETRY"]
 
@@ -42,7 +42,7 @@ class Telemetry:
         """Whether either sink records anything."""
         return self.metrics.enabled or self.events.enabled
 
-    def timer(self, name: str):
+    def timer(self, name: str) -> Union[Timer, _NullTimer]:
         """Shorthand for ``self.metrics.timer(name)``."""
         return self.metrics.timer(name)
 

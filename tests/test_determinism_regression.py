@@ -1,0 +1,74 @@
+"""Determinism regression tests (companion to lint rules DET001/DET002).
+
+The engine fixes in ``core/asm.py`` (sorted proposal order, sorted
+rejection processing) and ``core/matching.py`` (canonical internal
+insertion order) guarantee same input ⇒ identical output — bit-for-bit,
+not just equal-quality.  These tests pin that down so a future set/dict
+iteration regression fails loudly instead of flaking across runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.asm import asm
+from repro.core.matching import Matching
+from repro.core.rand_asm import rand_asm
+from repro.workloads.generators import (
+    complete_uniform,
+    gnp_incomplete,
+    master_list,
+)
+
+
+def _instances():
+    return [
+        complete_uniform(12, seed=5),
+        gnp_incomplete(14, 0.6, seed=11),
+        master_list(10, seed=3),
+    ]
+
+
+class TestASMDeterminism:
+    @pytest.mark.parametrize("idx", range(3))
+    def test_same_input_identical_matching(self, idx):
+        prefs = _instances()[idx]
+        first = asm(prefs, eps=0.25)
+        second = asm(prefs, eps=0.25)
+        assert first.matching == second.matching
+        # Identical serialized form, not just set-equality: insertion
+        # order of the result is canonical too.
+        assert first.matching.to_json() == second.matching.to_json()
+        assert first.rounds_scheduled == second.rounds_scheduled
+
+    def test_fresh_profile_same_output(self):
+        # Rebuilding the instance from scratch (new objects, new hash
+        # randomization victims) must not change the result.
+        a = asm(complete_uniform(16, seed=9), eps=0.3).matching
+        b = asm(complete_uniform(16, seed=9), eps=0.3).matching
+        assert a.to_json() == b.to_json()
+
+
+class TestRandASMDeterminism:
+    def test_seeded_runs_identical(self):
+        prefs = complete_uniform(12, seed=2)
+        a = rand_asm(prefs, eps=0.3, seed=7)
+        b = rand_asm(prefs, eps=0.3, seed=7)
+        assert a.matching.to_json() == b.matching.to_json()
+        assert a.rounds_scheduled == b.rounds_scheduled
+
+    def test_different_seeds_may_differ_but_are_each_stable(self):
+        prefs = complete_uniform(12, seed=2)
+        for seed in (1, 2):
+            result = rand_asm(prefs, eps=0.3, seed=seed)
+            result.matching.validate_against(prefs)
+
+
+class TestMatchingCanonicalOrder:
+    def test_construction_order_does_not_leak(self):
+        pairs = [(3, 1), (0, 2), (2, 0)]
+        forward = Matching(pairs)
+        backward = Matching(reversed(pairs))
+        from_set = Matching(frozenset(pairs))
+        assert forward.to_json() == backward.to_json() == from_set.to_json()
+        assert list(forward.pairs()) == [(0, 2), (2, 0), (3, 1)]
