@@ -8,24 +8,27 @@ matching with probability 1, but it can take many steps and each step
 is inherently sequential — exactly the gap the paper's ASM closes with
 coordinated polylog-round convergence.
 
-:func:`better_response_dynamics` simulates the process with
-*incremental* blocking-pair maintenance: satisfying ``(m, w)`` only
-changes the partners of ``m``, ``w`` and their two ex-partners, so only
-edges incident to those four players can change blocking status — each
-step costs O(Δ) instead of O(|E|).  Experiment E12 measures the
-process's steps-to-quality as a decentralized baseline against ASM's
-round counts.
+:func:`better_response_dynamics` simulates the process on top of
+:class:`repro.perf.blocking_index.BlockingPairIndex`: satisfying
+``(m, w)`` only changes the partners of ``m``, ``w`` and their two
+ex-partners, so only edges incident to those four players can change
+blocking status — each step costs O(Δ) instead of O(|E|).  The index
+reproduces this module's original rescan order exactly, so seeded
+trajectories are unchanged.  Experiment E12 measures the process's
+steps-to-quality as a decentralized baseline against ASM's round
+counts.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
-from repro.core.matching import Matching, MutableMatching
+from repro.core.matching import Matching
 from repro.core.preferences import PreferenceProfile
 from repro.errors import InvalidParameterError
+from repro.perf.blocking_index import BlockingPairIndex
 
 __all__ = ["DynamicsResult", "better_response_dynamics"]
 
@@ -51,103 +54,6 @@ class DynamicsResult:
     steps: int
     converged: bool
     blocking_history: List[int] = field(default_factory=list)
-
-
-class _PairPool:
-    """A set of pairs supporting O(1) add/discard/uniform-choice."""
-
-    __slots__ = ("_items", "_pos")
-
-    def __init__(self) -> None:
-        self._items: List[Tuple[int, int]] = []
-        self._pos: Dict[Tuple[int, int], int] = {}
-
-    def add(self, pair: Tuple[int, int]) -> None:
-        if pair in self._pos:
-            return
-        self._pos[pair] = len(self._items)
-        self._items.append(pair)
-
-    def discard(self, pair: Tuple[int, int]) -> None:
-        idx = self._pos.pop(pair, None)
-        if idx is None:
-            return
-        last = self._items.pop()
-        if idx < len(self._items):
-            self._items[idx] = last
-            self._pos[last] = idx
-
-    def choose(self, rng: random.Random) -> Tuple[int, int]:
-        return self._items[rng.randrange(len(self._items))]
-
-    def __len__(self) -> int:
-        return len(self._items)
-
-
-class _BlockingTracker:
-    """Incrementally maintained blocking-pair set for one matching."""
-
-    def __init__(
-        self, prefs: PreferenceProfile, matching: MutableMatching
-    ) -> None:
-        self.prefs = prefs
-        self.matching = matching
-        self.pool = _PairPool()
-        for m in range(prefs.n_men):
-            self._rescan_man(m)
-
-    # -- rank helpers (paper convention: unmatched = deg + 1) ---------
-
-    def _man_cur(self, m: int) -> int:
-        w = self.matching.partner_of_man(m)
-        if w is None:
-            return self.prefs.deg_man(m) + 1
-        return self.prefs.rank_of_woman(m, w)
-
-    def _woman_cur(self, w: int) -> int:
-        m = self.matching.partner_of_woman(w)
-        if m is None:
-            return self.prefs.deg_woman(w) + 1
-        return self.prefs.rank_of_man(w, m)
-
-    # -- incremental rescans ------------------------------------------
-
-    def _rescan_man(self, m: int) -> None:
-        cur = self._man_cur(m)
-        for pos, w in enumerate(self.prefs.man_list(m)):
-            pair = (m, w)
-            if pos + 1 < cur and self.prefs.rank_of_man(
-                w, m
-            ) < self._woman_cur(w):
-                self.pool.add(pair)
-            else:
-                self.pool.discard(pair)
-
-    def _rescan_woman(self, w: int) -> None:
-        cur = self._woman_cur(w)
-        for m in self.prefs.woman_list(w):
-            pair = (m, w)
-            if self.prefs.rank_of_man(w, m) < cur and self.prefs.rank_of_woman(
-                m, w
-            ) < self._man_cur(m):
-                self.pool.add(pair)
-            else:
-                self.pool.discard(pair)
-
-    def satisfy(self, m: int, w: int) -> None:
-        """Marry blocking pair ``(m, w)`` and update the pool."""
-        w_old = self.matching.partner_of_man(m)
-        m_old = self.matching.partner_of_woman(w)
-        self.matching.unmatch_man(m)
-        self.matching.unmatch_woman(w)
-        self.matching.match(m, w)
-        # Only edges touching the four affected players can change.
-        self._rescan_man(m)
-        self._rescan_woman(w)
-        if m_old is not None:
-            self._rescan_man(m_old)
-        if w_old is not None:
-            self._rescan_woman(w_old)
 
 
 def better_response_dynamics(
@@ -181,28 +87,27 @@ def better_response_dynamics(
     if max_steps < 0:
         raise InvalidParameterError(f"max_steps must be >= 0, got {max_steps}")
     rng = random.Random(seed)
-    current = MutableMatching(start.pairs() if start is not None else ())
-    tracker = _BlockingTracker(prefs, current)
+    index = BlockingPairIndex(prefs, start)
     history: List[int] = []
     steps = 0
     while True:
-        n_blocking = len(tracker.pool)
+        n_blocking = len(index)
         if history_stride and (steps % history_stride == 0 or not n_blocking):
             history.append(n_blocking)
         if not n_blocking:
             return DynamicsResult(
-                matching=current.freeze(),
+                matching=index.current_matching(),
                 steps=steps,
                 converged=True,
                 blocking_history=history,
             )
         if steps >= max_steps:
             return DynamicsResult(
-                matching=current.freeze(),
+                matching=index.current_matching(),
                 steps=steps,
                 converged=False,
                 blocking_history=history,
             )
-        m, w = tracker.pool.choose(rng)
-        tracker.satisfy(m, w)
+        m, w = index.choose(rng)
+        index.satisfy(m, w)
         steps += 1

@@ -69,6 +69,19 @@ _QUICK_OVERRIDES: Dict[str, Dict[str, Any]] = {
 }
 
 
+def _eps_arg(text: str) -> float:
+    """argparse type for ε: mirrors ``params_for_eps``'s 0 < ε ≤ 1 check."""
+    try:
+        value = float(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from exc
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"eps must satisfy 0 < eps <= 1, got {value}"
+        )
+    return value
+
+
 def _telemetry_for(
     args: argparse.Namespace,
     algorithm: str,
@@ -387,6 +400,82 @@ def _cmd_congest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _git_rev() -> str:
+    """Short git revision of the working tree, or ``"dev"``."""
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        )
+    except Exception:
+        return "dev"
+    rev = proc.stdout.strip()
+    return rev if rev else "dev"
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the pinned benchmark matrix; optionally gate vs. a baseline."""
+    from repro.io import load_bench, save_bench
+    from repro.perf.bench import compare_reports, run_bench
+
+    rev = _git_rev()
+    report = run_bench(scale=args.scale, repeats=args.repeats)
+    out = args.out if args.out else f"BENCH_{rev}.json"
+    save_bench(report, out, metadata={"rev": rev})
+
+    rows: List[Dict[str, Any]] = []
+    for case in report["cases"]:
+        rows.append(
+            {
+                "case": case["name"],
+                "wall_s": round(case["wall_seconds"], 4),
+                "alloc_kb": case["alloc_peak_bytes"] // 1024,
+                "messages": case["counters"]["messages"],
+                "rounds": case["counters"]["rounds_active"],
+                "blocking": case["counters"]["blocking_pairs"],
+                "matched": case["counters"]["matching_size"],
+            }
+        )
+    print(format_table(rows, title=f"bench matrix ({args.scale} scale)"))
+    ivo = report["index_vs_oracle"]
+    print(
+        f"index vs oracle (n={ivo['n']}, {ivo['steps']} steps): "
+        f"{ivo['index_seconds']:.4f}s incremental vs "
+        f"{ivo['oracle_seconds']:.4f}s full-scan = "
+        f"{ivo['speedup']:.1f}x speedup, "
+        f"agreement={'exact' if ivo['agree'] else 'BROKEN'}"
+    )
+    print(f"wrote {out}", file=sys.stderr)
+    if not ivo["agree"]:
+        print(
+            "FAIL: incremental index disagrees with the full-scan oracle",
+            file=sys.stderr,
+        )
+        return 1
+    if args.baseline:
+        baseline = load_bench(args.baseline)
+        violations = compare_reports(
+            report,
+            baseline,
+            tolerance=args.tolerance,
+            min_wall_seconds=args.min_wall,
+        )
+        if violations:
+            for violation in violations:
+                print(f"REGRESSION: {violation}", file=sys.stderr)
+            return 1
+        print(
+            f"baseline gate: PASS (vs {args.baseline}, "
+            f"tolerance {args.tolerance:.0%})"
+        )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run the static CONGEST-compliance / determinism analyzer."""
     from repro.lint import format_json, format_text, load_config, run_lint
@@ -452,7 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("--workload", choices=sorted(GENERATORS), default="complete")
     run_p.add_argument("--n", type=int, default=128)
-    run_p.add_argument("--eps", type=float, default=0.2)
+    run_p.add_argument("--eps", type=_eps_arg, default=0.2)
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument(
         "--gs-iterations",
@@ -510,7 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
     con_p.add_argument("--workload", choices=sorted(GENERATORS),
                        default="complete")
     con_p.add_argument("--n", type=int, default=8)
-    con_p.add_argument("--eps", type=float, default=0.5)
+    con_p.add_argument("--eps", type=_eps_arg, default=0.5)
     con_p.add_argument("--seed", type=int, default=0)
     con_p.add_argument("--inner", type=int, default=6,
                        help="inner-loop / flat iterations override")
@@ -520,6 +609,49 @@ def build_parser() -> argparse.ArgumentParser:
                        help="matching-phase iteration budget")
     _add_telemetry_flags(con_p)
     con_p.set_defaults(func=_cmd_congest)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="run the pinned perf matrix and write BENCH_<rev>.json",
+    )
+    bench_p.add_argument(
+        "--scale",
+        choices=["full", "smoke"],
+        default="full",
+        help="full = committed-baseline sizes; smoke = CI sizes",
+    )
+    bench_p.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repetitions per case (minimum is reported)",
+    )
+    bench_p.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="output path (default: BENCH_<git-rev>.json)",
+    )
+    bench_p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="compare against this committed report and fail on regression",
+    )
+    bench_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative wall-time regression (default 0.25)",
+    )
+    bench_p.add_argument(
+        "--min-wall",
+        type=float,
+        default=0.05,
+        help="skip wall-time comparison for baseline cases faster than "
+        "this many seconds (noise floor)",
+    )
+    bench_p.set_defaults(func=_cmd_bench)
 
     lint_p = sub.add_parser(
         "lint",

@@ -103,8 +103,20 @@ class Simulator:
         self.max_message_bits = bit_cap_factor * log_n
         self.stats = SimulationStats()
         self.results: Dict[NodeId, Any] = {}
+        # Persistent per-node inbox pools: one dict per node for the
+        # whole run, cleared lazily (only nodes that received messages
+        # last round) instead of rebuilding {v: {}} every round.  An
+        # inbox dict is therefore only valid until the receiving
+        # program's next ``yield`` — programs must consume it before
+        # yielding again, which the round semantics already imply.
         self._inboxes: Dict[NodeId, Dict[NodeId, Message]] = {
             v: {} for v in self.programs
+        }
+        self._touched_inboxes: list = []
+        # Deterministic scheduling order, precomputed once: step() used
+        # to re-sort the live set by repr every round.
+        self._order: Dict[NodeId, int] = {
+            v: i for i, v in enumerate(sorted(self.programs, key=repr))
         }
         self._started_map: Dict[NodeId, bool] = {}
         # Optional message recorder (see repro.congest.recorder): any
@@ -129,6 +141,10 @@ class Simulator:
             return gen.send(self._inboxes[v])
         except StopIteration as stop:
             self.results[v] = stop.value
+            # The program may have returned (a structure holding) its
+            # final inbox dict; detach it from the pool so recycling
+            # never mutates a captured result.
+            self._inboxes[v] = {}
             return None
 
     def step(self) -> bool:
@@ -142,14 +158,18 @@ class Simulator:
         round_bits = 0
         kind_counts: Dict[str, int] = {}
         outboxes: Dict[NodeId, Dict[NodeId, Message]] = {}
-        for v in sorted(live, key=repr):
+        live.sort(key=self._order.__getitem__)
+        for v in live:
             out = self._advance(v)
             if out is not None:
                 outboxes[v] = out
-        # Validate and deliver.
-        new_inboxes: Dict[NodeId, Dict[NodeId, Message]] = {
-            v: {} for v in self.programs
-        }
+        # Last round's messages have now been consumed (every live
+        # program advanced past the yield that received them); recycle
+        # the touched inbox pools before delivering this round.
+        inboxes = self._inboxes
+        for v in self._touched_inboxes:
+            inboxes[v].clear()
+        self._touched_inboxes.clear()
         round_messages = 0
         # 1-based index of the round being executed, used so runtime
         # diagnostics can name where the protocol went wrong and point
@@ -181,8 +201,11 @@ class Simulator:
                         f"bounds payloads against MESSAGE_SCHEMAS; see "
                         f"docs/static_analysis.md]"
                     )
-                if recipient in new_inboxes:
-                    new_inboxes[recipient][sender] = msg
+                if recipient in inboxes:
+                    box = inboxes[recipient]
+                    if not box:
+                        self._touched_inboxes.append(recipient)
+                    box[sender] = msg
                 if self.recorder is not None:
                     self.recorder.on_message(
                         executing_round, sender, recipient, msg
@@ -196,7 +219,6 @@ class Simulator:
                 if observing:
                     round_bits += bits
                     kind_counts[msg.kind] = kind_counts.get(msg.kind, 0) + 1
-        self._inboxes = new_inboxes
         self.stats.rounds += 1
         self.stats.messages_per_round.append(round_messages)
         if observing:

@@ -68,9 +68,17 @@ def params_for_eps(eps: float) -> Tuple[int, float]:
     Theorem 3's accounting: good men contribute at most ``4|E|/k ≤
     ε|E|/2`` blocking pairs (Lemmas 3–4) and bad men at most
     ``4δ|E| = ε|E|/2`` (Lemma 5).
+
+    ``eps`` must satisfy ``0 < eps ≤ 1``: beyond 1 the guarantee is
+    vacuous (every matching has ≤ |E| blocking pairs) while the derived
+    parameters break the accounting — ``k = ⌈8/ε⌉`` collapses toward 1
+    (no quantile structure left for Lemma 3) and ``δ = ε/8`` exceeds
+    the 1/8 ceiling Lemma 5's ``4δ|E| ≤ ε|E|/2`` split relies on.
     """
-    if eps <= 0:
-        raise InvalidParameterError(f"eps must be > 0, got {eps}")
+    if not 0.0 < eps <= 1.0:
+        raise InvalidParameterError(
+            f"eps must satisfy 0 < eps <= 1, got {eps}"
+        )
     return math.ceil(8.0 / eps), eps / 8.0
 
 
@@ -263,6 +271,16 @@ class ASMEngine:
         (``asm.phase.propose`` / ``asm.phase.accept_reject`` /
         ``asm.phase.maximal_matching`` histograms).  Defaults to the
         shared no-op bundle, which costs (nearly) nothing.
+    optimized:
+        Select the allocation-free fast ProposalRound path (default) or
+        the seed reference path.  Both produce bit-identical results —
+        the fast path reuses per-woman suitor buffers across rounds,
+        keeps active sets as pre-sorted insertion-ordered dicts, and
+        probes each woman's live quantile table once per suitor; the
+        reference path rebuilds its dicts per round exactly as the seed
+        implementation did.  The equivalence test suite runs both over
+        the workload grid and asserts identical :class:`ASMResult`
+        bundles (``tests/test_perf_equivalence.py``).
     """
 
     def __init__(
@@ -278,6 +296,7 @@ class ASMEngine:
         check_invariants: bool = False,
         observer: Optional[ASMObserver] = None,
         telemetry: Optional[Telemetry] = None,
+        optimized: bool = True,
         inner_iterations: Optional[int] = None,
         outer_iterations: Optional[int] = None,
     ) -> None:
@@ -298,6 +317,7 @@ class ASMEngine:
         self.check_invariants = check_invariants
         self.observer = observer
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.optimized = optimized
         # Schedule overrides (used by ablations and the CONGEST
         # cross-validation, which needs small fixed schedules).
         self._inner_iterations_override = inner_iterations
@@ -316,10 +336,19 @@ class ASMEngine:
         # Partners p(v); None = unmatched.
         self.man_partner: List[Optional[int]] = [None] * self.n_men
         self.woman_partner: List[Optional[int]] = [None] * self.n_women
-        # Active proposal sets A (men only).
-        self.active: List[Set[int]] = [set() for _ in range(self.n_men)]
+        # Active proposal sets A (men only), kept as insertion-ordered
+        # dicts built ascending — deletions preserve order, so both
+        # engine paths iterate A in the canonical sorted order without
+        # a per-round sort (DET001 stays satisfied structurally).
+        self.active: List[Dict[int, None]] = [{} for _ in range(self.n_men)]
         # Almost-regular mode: men removed from play.
         self.removed: List[bool] = [False] * self.n_men
+        # Fast-path buffers, reused across every ProposalRound of the
+        # run: per-woman suitor lists plus the list of women touched in
+        # the current round, and the men whose A might be nonempty.
+        self._suitor_buf: List[List[int]] = [[] for _ in range(self.n_women)]
+        self._touched_women: List[int] = []
+        self._active_men: List[int] = []
 
         self.counter = RoundCounter()
         self.messages = MessageStats()
@@ -378,6 +407,79 @@ class ASMEngine:
         A ``None`` return means no messages would flow this round and
         (since active sets only shrink between QuantileMatch calls) no
         state can change — callers charge the scheduled rounds and skip.
+
+        Dispatches to the allocation-free fast path or the seed
+        reference path per the ``optimized`` flag; both produce
+        bit-identical state transitions and stats.
+        """
+        if self.optimized:
+            return self._proposal_round_fast()
+        return self._proposal_round_reference()
+
+    def _mm_phase(self, g0: Graph) -> Tuple[MMResult, int, int]:
+        """Step 3 (shared by both paths): maximal matching on ``G₀``.
+
+        Returns ``(mm_result, men_removed, mm_work)`` where ``mm_work``
+        is the Remark-4 proxy for the subroutine's per-processor work.
+        """
+        mm_result: MMResult = self.mm_oracle(g0)
+        # Remark 4 proxy for subroutine-local work: each MM round
+        # costs a processor at most its G0 degree.
+        mm_work = 0
+        if g0.num_nodes:
+            max_g0_deg = max(g0.degree(v) for v in g0.nodes())
+            mm_work = mm_result.rounds * max_g0_deg
+
+        # Almost-regular mode (Theorem 6 footnote): men violating
+        # Definition 3 after an almost-maximal matching leave the game.
+        men_removed = 0
+        if self.remove_unmatched_violators:
+            for v in violating_vertices(g0, mm_result.partner):
+                if is_man_node(v):
+                    mi = node_index(v)
+                    if not self.removed[mi]:
+                        self.removed[mi] = True
+                        self.active[mi] = {}
+                        men_removed += 1
+        return mm_result, men_removed, mm_work
+
+    def _finalize_round(
+        self,
+        n_proposals: int,
+        n_accepts: int,
+        n_rejects: int,
+        g0: Graph,
+        mm_result: MMResult,
+        matched_in_m0: int,
+        men_removed: int,
+        max_work: int,
+    ) -> ProposalRoundStats:
+        """Message stats, Remark-4 time, round charges, observer hook."""
+        self.messages.proposes += n_proposals
+        self.messages.accepts += n_accepts
+        self.messages.rejects += n_rejects
+        self.synchronous_time += CONSTANT_ROUNDS_PER_PROPOSAL_ROUND + max_work
+        stats = ProposalRoundStats(
+            proposals=n_proposals,
+            accepts=n_accepts,
+            rejects=n_rejects,
+            g0_nodes=g0.num_nodes,
+            g0_edges=g0.num_edges,
+            matched_in_m0=matched_in_m0,
+            mm_rounds=mm_result.rounds,
+            men_removed=men_removed,
+            max_player_work=max_work,
+        )
+        self._charge_executed(mm_result)
+        if self.observer is not None:
+            self.observer.on_proposal_round_end(self, stats)
+        return stats
+
+    def _proposal_round_reference(self) -> Optional[ProposalRoundStats]:
+        """The seed implementation: per-round dict rebuilds throughout.
+
+        Kept verbatim (modulo the active-set container change) as the
+        equivalence oracle for the fast path.
         """
         telemetry = self.telemetry
         # Step 1: men propose to every woman in A.
@@ -388,9 +490,8 @@ class ASMEngine:
             for m in range(self.n_men):
                 if self.removed[m] or not self.active[m]:
                     continue
-                # Canonical (sorted) proposal order: A is a set, and the
-                # run must replay identically regardless of how it was
-                # assembled (DET001).
+                # Canonical (sorted) proposal order: the run must replay
+                # identically regardless of how A was assembled (DET001).
                 for w in sorted(self.active[m]):
                     proposals.setdefault(w, []).append(m)
                 n_proposals += len(self.active[m])
@@ -424,24 +525,8 @@ class ASMEngine:
 
         with telemetry.timer("asm.phase.maximal_matching"):
             # Step 3: maximal matching on the accepted-proposal graph G0.
-            mm_result: MMResult = self.mm_oracle(g0)
-            # Remark 4 proxy for subroutine-local work: each MM round
-            # costs a processor at most its G0 degree.
-            if g0.num_nodes:
-                max_g0_deg = max(g0.degree(v) for v in g0.nodes())
-                max_work = max(max_work, mm_result.rounds * max_g0_deg)
-
-            # Almost-regular mode (Theorem 6 footnote): men violating
-            # Definition 3 after an almost-maximal matching leave the game.
-            men_removed = 0
-            if self.remove_unmatched_violators:
-                for v in violating_vertices(g0, mm_result.partner):
-                    if is_man_node(v):
-                        mi = node_index(v)
-                        if not self.removed[mi]:
-                            self.removed[mi] = True
-                            self.active[mi] = set()
-                            men_removed += 1
+            mm_result, men_removed, mm_work = self._mm_phase(g0)
+            max_work = max(max_work, mm_work)
 
         with telemetry.timer("asm.phase.accept_reject"):
             # Step 4: newly matched women reject all weakly-worse suitors.
@@ -478,36 +563,176 @@ class ASMEngine:
                 n_rejects += len(rejected)
                 self.woman_partner[w] = m0
                 self.man_partner[m0] = w
-                self.active[m0] = set()
+                self.active[m0] = {}
 
             # Step 5: men process rejections.
             for m, rejecting in rejections.items():
                 mq = self.men_q[m]
                 for w in rejecting:
                     mq.remove(w)
-                    self.active[m].discard(w)
+                    self.active[m].pop(w, None)
                     if self.man_partner[m] == w:
                         self.man_partner[m] = None
 
-        self.messages.proposes += n_proposals
-        self.messages.accepts += n_accepts
-        self.messages.rejects += n_rejects
-        self.synchronous_time += CONSTANT_ROUNDS_PER_PROPOSAL_ROUND + max_work
-        stats = ProposalRoundStats(
-            proposals=n_proposals,
-            accepts=n_accepts,
-            rejects=n_rejects,
-            g0_nodes=g0.num_nodes,
-            g0_edges=g0.num_edges,
-            matched_in_m0=len(matched_pairs),
-            mm_rounds=mm_result.rounds,
-            men_removed=men_removed,
-            max_player_work=max_work,
+        return self._finalize_round(
+            n_proposals,
+            n_accepts,
+            n_rejects,
+            g0,
+            mm_result,
+            len(matched_pairs),
+            men_removed,
+            max_work,
         )
-        self._charge_executed(mm_result)
-        if self.observer is not None:
-            self.observer.on_proposal_round_end(self, stats)
-        return stats
+
+    def _proposal_round_fast(self) -> Optional[ProposalRoundStats]:
+        """Allocation-free ProposalRound (same transitions as reference).
+
+        Differences are purely mechanical:
+
+        * suitor lists live in per-woman buffers reused across every
+          round of the run (cleared lazily at round start);
+        * only men in ``_active_men`` (maintained by QuantileMatch
+          activation, compacted as men drain) are scanned, not all men;
+        * active sets are pre-sorted insertion-ordered dicts, so no
+          per-round ``sorted()``;
+        * each woman's live quantile table is bound once and probed
+          once per suitor (no ``contains`` + ``quantile_of`` pairs);
+        * Step 4 rejects via one pre-sorted list per newly matched
+          woman instead of frozenset algebra.
+
+        Orders of all state mutations match the reference path exactly,
+        which is what makes the two paths bit-identical.
+        """
+        telemetry = self.telemetry
+        active = self.active
+        removed = self.removed
+        suitor_buf = self._suitor_buf
+        touched = self._touched_women
+        # Step 1: men propose to every woman in A.
+        with telemetry.timer("asm.phase.propose"):
+            for w in touched:  # lazy clear of last round's buffers
+                suitor_buf[w].clear()
+            touched.clear()
+            n_proposals = 0
+            max_work = 0  # Remark 4: max per-processor work this round
+            still_active: List[int] = []
+            for m in self._active_men:
+                a = active[m]
+                if removed[m] or not a:
+                    continue
+                still_active.append(m)
+                for w in a:  # insertion-ordered ascending
+                    buf = suitor_buf[w]
+                    if not buf:
+                        touched.append(w)
+                    buf.append(m)
+                n_proposals += len(a)
+                if len(a) > max_work:
+                    max_work = len(a)
+            self._active_men = still_active
+        if not touched:
+            return None
+
+        # Step 2: each woman accepts her best proposing quantile.
+        with telemetry.timer("asm.phase.accept_reject"):
+            g0 = Graph()
+            n_accepts = 0
+            women_q = self.women_q
+            for w in touched:
+                suitors = suitor_buf[w]
+                if len(suitors) > max_work:
+                    max_work = len(suitors)
+                present = women_q[w].present_map()
+                if self.check_invariants:
+                    for m in suitors:
+                        if m not in present:
+                            raise SimulationError(
+                                f"man {m} proposed to woman {w} after "
+                                f"removal from her list"
+                            )
+                best: Optional[int] = None
+                for m in suitors:
+                    q = present.get(m)
+                    if q is not None and (best is None or q < best):
+                        best = q
+                if best is None:
+                    raise SimulationError(
+                        f"woman {w} received proposals only from removed men"
+                    )
+                wn = woman_node(w)
+                for m in suitors:
+                    if present.get(m) == best:
+                        g0.add_edge(man_node(m), wn)
+                        n_accepts += 1
+
+        with telemetry.timer("asm.phase.maximal_matching"):
+            # Step 3: maximal matching on the accepted-proposal graph G0.
+            mm_result, men_removed, mm_work = self._mm_phase(g0)
+            if mm_work > max_work:
+                max_work = mm_work
+
+        with telemetry.timer("asm.phase.accept_reject"):
+            # Step 4: newly matched women reject all weakly-worse suitors.
+            rejections: Dict[int, List[int]] = {}
+            n_rejects = 0
+            matched_in_m0 = 0
+            man_partner = self.man_partner
+            woman_partner = self.woman_partner
+            for u, v in mm_result.pairs():
+                m0, w = (
+                    (node_index(u), node_index(v))
+                    if is_man_node(u)
+                    else (node_index(v), node_index(u))
+                )
+                matched_in_m0 += 1
+                wq = women_q[w]
+                q0 = wq.quantile_of(m0)
+                rejected = wq.members_at_least_sorted(q0)  # includes m0
+                old = woman_partner[w]
+                if self.check_invariants and old is not None and (
+                    old == m0
+                    or not wq.contains(old)
+                    or wq.quantile_of(old) < q0
+                ):
+                    raise SimulationError(
+                        f"woman {w} traded up to man {m0} but did not "
+                        f"reject previous partner {old}"
+                    )
+                rejected_count = 0
+                for m in rejected:  # ascending, matching the reference
+                    if m == m0:
+                        continue
+                    wq.remove(m)
+                    rejections.setdefault(m, []).append(w)
+                    rejected_count += 1
+                n_rejects += rejected_count
+                if rejected_count > max_work:
+                    max_work = rejected_count
+                woman_partner[w] = m0
+                man_partner[m0] = w
+                active[m0] = {}
+
+            # Step 5: men process rejections.
+            for m, rejecting in rejections.items():
+                mq = self.men_q[m]
+                a = active[m]
+                for w in rejecting:
+                    mq.remove(w)
+                    a.pop(w, None)
+                    if man_partner[m] == w:
+                        man_partner[m] = None
+
+        return self._finalize_round(
+            n_proposals,
+            n_accepts,
+            n_rejects,
+            g0,
+            mm_result,
+            matched_in_m0,
+            men_removed,
+            max_work,
+        )
 
     def _charge_executed(self, mm_result: MMResult) -> None:
         """Round accounting for one executed ProposalRound."""
@@ -552,13 +777,21 @@ class ASMEngine:
         with scheduled rounds still charged — once no proposals remain).
         Returns whether any communication happened.
         """
+        active_men: List[int] = []
         for m in participating:
             if self.removed[m] or self.man_partner[m] is not None:
                 continue
             best = self.men_q[m].best_nonempty_quantile()
-            self.active[m] = (
-                set(self.men_q[m].members_of(best)) if best is not None else set()
-            )
+            if best is not None:
+                # Ascending insertion order: deletions preserve it, so
+                # the fast path iterates A without a per-round sort.
+                self.active[m] = dict.fromkeys(
+                    self.men_q[m].members_of_sorted(best)
+                )
+                active_men.append(m)
+            else:
+                self.active[m] = {}
+        self._active_men = active_men
         self.quantile_match_calls_executed += 1
         self.quantile_match_calls_scheduled += 1
         any_communication = False
@@ -729,6 +962,7 @@ def asm(
     check_invariants: bool = False,
     observer: Optional[ASMObserver] = None,
     telemetry: Optional[Telemetry] = None,
+    optimized: bool = True,
 ) -> ASMResult:
     """Run deterministic ``ASM(P, ε, n)`` (Theorem 1 / Theorem 3).
 
@@ -757,5 +991,6 @@ def asm(
         check_invariants=check_invariants,
         observer=observer,
         telemetry=telemetry,
+        optimized=optimized,
     )
     return engine.run()

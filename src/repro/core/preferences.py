@@ -19,7 +19,7 @@ means ``u`` is ``v``'s most favored partner.
 from __future__ import annotations
 
 import json
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidPreferencesError
 
@@ -86,6 +86,7 @@ class PreferenceProfile:
         "_men_rank",
         "_women_rank",
         "_num_edges",
+        "_edges_cache",
     )
 
     def __init__(
@@ -107,6 +108,7 @@ class PreferenceProfile:
         )
         self._check_symmetry()
         self._num_edges = sum(len(lst) for lst in self._men_prefs)
+        self._edges_cache: Optional[FrozenSet[Tuple[int, int]]] = None
 
     def _check_symmetry(self) -> None:
         """Verify that ``w in P_m`` if and only if ``m in P_w``."""
@@ -150,10 +152,18 @@ class PreferenceProfile:
         return self._num_edges
 
     def edges(self) -> FrozenSet[Tuple[int, int]]:
-        """The edge set ``E`` as a frozenset of ``(man, woman)`` pairs."""
-        return frozenset(
-            (m, w) for m, lst in enumerate(self._men_prefs) for w in lst
-        )
+        """The edge set ``E`` as a frozenset of ``(man, woman)`` pairs.
+
+        The profile is immutable, so the set is computed once and cached
+        — callers that probe membership per matching delta (e.g. the
+        incremental :class:`~repro.perf.blocking_index.BlockingPairIndex`)
+        pay O(|E|) on the first call only.
+        """
+        if self._edges_cache is None:
+            self._edges_cache = frozenset(
+                (m, w) for m, lst in enumerate(self._men_prefs) for w in lst
+            )
+        return self._edges_cache
 
     def iter_edges(self) -> Iterable[Tuple[int, int]]:
         """Iterate over ``(man, woman)`` edges without materializing a set."""
@@ -194,6 +204,23 @@ class PreferenceProfile:
         Raises ``KeyError`` if ``m`` is not acceptable to ``w``.
         """
         return self._women_rank[w][m]
+
+    def men_rank_tables(self) -> Tuple[Dict[int, int], ...]:
+        """Per-man rank tables: ``men_rank_tables()[m][w] == P_m(w)``.
+
+        Direct (read-only) access to the internal lookup tables for hot
+        loops that cannot afford a method call per probe — the
+        incremental blocking-pair index and the engine's fast paths.
+        Callers must not mutate the returned dicts.
+        """
+        return self._men_rank
+
+    def women_rank_tables(self) -> Tuple[Dict[int, int], ...]:
+        """Per-woman rank tables: ``women_rank_tables()[w][m] == P_w(m)``.
+
+        See :meth:`men_rank_tables`; callers must not mutate.
+        """
+        return self._women_rank
 
     def acceptable_to_man(self, m: int, w: int) -> bool:
         """Whether woman ``w`` appears on man ``m``'s list."""

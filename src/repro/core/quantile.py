@@ -82,26 +82,39 @@ class QuantizedList:
     2
     """
 
-    __slots__ = ("_k", "_degree", "_quantile_of", "_members", "_remaining")
+    __slots__ = ("_k", "_degree", "_quantile_of", "_members", "_present", "_best")
 
     def __init__(self, ordered_partners: Sequence[int], k: int) -> None:
         if k < 1:
             raise InvalidParameterError(f"quantile count k must be >= 1, got {k}")
         self._k = k
         self._degree = len(ordered_partners)
-        self._quantile_of: Dict[int, int] = {}
-        self._members: List[Set[int]] = [set() for _ in range(k + 1)]  # 1-based
+        quantile_of: Dict[int, int] = {}
+        members: List[Set[int]] = [set() for _ in range(k + 1)]  # 1-based
         degree = self._degree
         for pos, u in enumerate(ordered_partners):
             # Inline quantile_index (hot path: called |E| times per run).
             q = -(-(pos + 1) * k // degree) if degree else 1
-            if u in self._quantile_of:
-                raise InvalidParameterError(
-                    f"duplicate partner {u} in preference list"
-                )
-            self._quantile_of[u] = q
-            self._members[q].add(u)
-        self._remaining = self._degree
+            quantile_of[u] = q
+            members[q].add(u)
+        if len(quantile_of) != degree:
+            seen: Set[int] = set()
+            for u in ordered_partners:
+                if u in seen:
+                    raise InvalidParameterError(
+                        f"duplicate partner {u} in preference list"
+                    )
+                seen.add(u)
+        self._quantile_of = quantile_of
+        # Present (non-removed) partners only: u -> quantile.  One dict
+        # probe answers both "still in Q?" and "which quantile?" — the
+        # pair of questions Step 2 of ProposalRound asks per suitor.
+        self._present: Dict[int, int] = dict(quantile_of)
+        self._members = members
+        # Cursor for best_nonempty_quantile: partners are only ever
+        # removed, so the least nonempty quantile index never decreases
+        # and the cursor advances monotonically (amortized O(k) total).
+        self._best = 1
 
     @property
     def k(self) -> int:
@@ -116,7 +129,7 @@ class QuantizedList:
     @property
     def remaining(self) -> int:
         """``|Q|`` — how many partners have not been removed."""
-        return self._remaining
+        return len(self._present)
 
     def quantile_of(self, u: int) -> int:
         """The quantile index of partner ``u`` (raises ``KeyError`` if absent).
@@ -128,8 +141,24 @@ class QuantizedList:
 
     def contains(self, u: int) -> bool:
         """Whether ``u`` is still in ``Q`` (not yet removed)."""
-        q = self._quantile_of.get(u)
-        return q is not None and u in self._members[q]
+        return u in self._present
+
+    def quantile_if_present(self, u: int) -> Optional[int]:
+        """``quantile_of(u)`` when ``u`` is still in ``Q``, else ``None``.
+
+        One dict probe instead of the two :meth:`contains` +
+        :meth:`quantile_of` would cost — the hot-path query of Step 2.
+        """
+        return self._present.get(u)
+
+    def present_map(self) -> Dict[int, int]:
+        """The live ``u -> quantile`` map of non-removed partners.
+
+        This is the internal dict, exposed so the engine's inner loop
+        can bind one lookup table per woman per round.  Callers must
+        treat it as read-only; it mutates as partners are removed.
+        """
+        return self._present
 
     def members_of(self, q: int) -> FrozenSet[int]:
         """The current (post-removal) members of quantile ``Q_q``."""
@@ -138,11 +167,17 @@ class QuantizedList:
         return frozenset(self._members[q])
 
     def best_nonempty_quantile(self) -> Optional[int]:
-        """``min {i | Q_i ≠ ∅}`` or ``None`` when ``Q`` is empty."""
-        for q in range(1, self._k + 1):
-            if self._members[q]:
-                return q
-        return None
+        """``min {i | Q_i ≠ ∅}`` or ``None`` when ``Q`` is empty.
+
+        Amortized O(1): removals never re-populate a quantile, so the
+        scan resumes from where the previous call stopped.
+        """
+        q = self._best
+        members = self._members
+        while q <= self._k and not members[q]:
+            q += 1
+        self._best = q
+        return q if q <= self._k else None
 
     def best_nonempty_among(self, candidates: Iterable[int]) -> Optional[int]:
         """The best (smallest) quantile index containing any of ``candidates``.
@@ -152,13 +187,34 @@ class QuantizedList:
         quantile.
         """
         best: Optional[int] = None
+        present = self._present
         for u in candidates:
-            q = self._quantile_of.get(u)
-            if q is None or u not in self._members[q]:
-                continue
-            if best is None or q < best:
+            q = present.get(u)
+            if q is not None and (best is None or q < best):
                 best = q
         return best
+
+    def members_of_sorted(self, q: int) -> List[int]:
+        """The current members of ``Q_q`` as an ascending list.
+
+        The canonical (sorted) view the engine activates proposal sets
+        from, without the frozenset detour of :meth:`members_of`.
+        """
+        if not 1 <= q <= self._k:
+            raise InvalidParameterError(f"quantile index {q} not in [1, {self._k}]")
+        return sorted(self._members[q])
+
+    def members_at_least_sorted(self, q: int) -> List[int]:
+        """:meth:`members_at_least` as one ascending list.
+
+        Used by Step 4's rejection sweep: one allocation and one sort
+        instead of a union of frozensets followed by ``sorted()``.
+        """
+        out: List[int] = []
+        for i in range(max(q, 1), self._k + 1):
+            out.extend(self._members[i])
+        out.sort()
+        return out
 
     def members_up_to(self, q: int) -> FrozenSet[int]:
         """All current members in quantiles ``Q_1, …, Q_q`` (inclusive).
@@ -187,12 +243,9 @@ class QuantizedList:
 
     def remove(self, u: int) -> None:
         """Remove ``u`` from ``Q`` (no-op if already removed or unknown)."""
-        q = self._quantile_of.get(u)
-        if q is None:
-            return
-        if u in self._members[q]:
+        q = self._present.pop(u, None)
+        if q is not None:
             self._members[q].discard(u)
-            self._remaining -= 1
 
     def all_members(self) -> FrozenSet[int]:
         """The current contents of ``Q`` (union of all quantiles)."""
@@ -202,10 +255,10 @@ class QuantizedList:
         return frozenset(out)
 
     def __len__(self) -> int:
-        return self._remaining
+        return len(self._present)
 
     def __repr__(self) -> str:
         return (
             f"QuantizedList(k={self._k}, degree={self._degree}, "
-            f"remaining={self._remaining})"
+            f"remaining={len(self._present)})"
         )

@@ -44,6 +44,8 @@ __all__ = [
     "load_metrics",
     "save_events",
     "load_events",
+    "save_bench",
+    "load_bench",
 ]
 
 FORMAT_VERSION = 1
@@ -263,3 +265,38 @@ def load_events(
                 f"{path}: line {i} is not valid JSON ({exc})"
             ) from exc
     return header.get("manifest", {}), records
+
+
+def save_bench(
+    report: Dict[str, Any],
+    path: PathLike,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write a ``repro.perf.bench`` report as versioned JSON.
+
+    ``metadata`` (e.g. the git revision the CLI stamps) is stored under
+    the ``"metadata"`` key for provenance.
+    """
+    from repro.perf.bench import BENCH_KIND
+
+    _write(
+        path,
+        BENCH_KIND,
+        {"metadata": metadata or {}, "report": report},
+    )
+
+
+def load_bench(path: PathLike) -> Dict[str, Any]:
+    """Read a benchmark report written by :func:`save_bench`.
+
+    Returns the report body (the ``run_bench`` dict); provenance
+    metadata is available under its ``"metadata"`` key only in the
+    raw file.
+    """
+    from repro.perf.bench import BENCH_KIND
+
+    document = _read(path, BENCH_KIND)
+    report = document.get("report")
+    if not isinstance(report, dict):
+        raise FileFormatError(f"{path}: missing bench report body")
+    return report

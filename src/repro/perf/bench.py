@@ -1,0 +1,283 @@
+"""Pinned benchmark matrix and regression gate for ``repro-asm bench``.
+
+:func:`run_bench` executes a fixed workload matrix (full scale, or the
+``smoke`` shrink used in CI) and returns a machine-readable report:
+wall time (best of ``repeats``, :func:`time.perf_counter`), Python
+allocation peak (``tracemalloc``), process peak RSS, and the
+deterministic counters — messages, rounds, blocking pairs, matching
+size — that must reproduce *exactly* across machines.
+
+:func:`compare_reports` is the gate: deterministic counters are
+compared strictly, wall time with a relative tolerance (and an
+absolute floor below which timing noise dominates and the check is
+skipped).
+
+This module performs no I/O (TEL003): persistence goes through
+:func:`repro.io.save_bench` and reporting through the CLI.
+"""
+
+from __future__ import annotations
+
+import random
+import resource
+import time
+import tracemalloc
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.stability import count_blocking_pairs
+from repro.core.asm import asm
+from repro.core.matching import MutableMatching
+from repro.errors import InvalidParameterError
+from repro.perf.blocking_index import BlockingPairIndex
+from repro.workloads.generators import GENERATORS, gnp_incomplete
+
+__all__ = [
+    "BENCH_KIND",
+    "WORKLOAD_MATRIX",
+    "run_bench",
+    "run_index_vs_oracle",
+    "compare_reports",
+]
+
+BENCH_KIND = "bench_report"
+
+#: The pinned matrix: one entry per workload family we track.  ``full``
+#: sizes target ~a second per case on commodity hardware; ``smoke``
+#: sizes keep the whole matrix under a few seconds for CI.
+WORKLOAD_MATRIX: Tuple[Dict[str, Any], ...] = (
+    {
+        "name": "complete",
+        "generator": "complete",
+        "eps": 0.5,
+        "full": {"n": 200, "seed": 7},
+        "smoke": {"n": 24, "seed": 7},
+    },
+    {
+        "name": "gnp_sparse",
+        "generator": "gnp",
+        "eps": 0.5,
+        "full": {"n": 600, "p": 0.05, "seed": 11},
+        "smoke": {"n": 40, "p": 0.2, "seed": 11},
+    },
+    {
+        "name": "bounded_degree",
+        "generator": "bounded",
+        "eps": 0.25,
+        "full": {"n": 400, "d": 12, "seed": 3},
+        "smoke": {"n": 30, "d": 5, "seed": 3},
+    },
+    {
+        "name": "master_list",
+        "generator": "master_list",
+        "eps": 0.5,
+        "full": {"n": 150, "noise": 0.1, "seed": 5},
+        "smoke": {"n": 20, "noise": 0.1, "seed": 5},
+    },
+    {
+        "name": "euclidean",
+        "generator": "euclidean",
+        "eps": 0.5,
+        "full": {"n": 300, "radius": 0.3, "seed": 9},
+        "smoke": {"n": 24, "radius": 0.5, "seed": 9},
+    },
+)
+
+#: Scales for the index-vs-oracle trajectory comparison (the
+#: acceptance-criterion case: n=2000 at full scale).
+INDEX_VS_ORACLE_SCALES: Dict[str, Dict[str, Any]] = {
+    "full": {"n": 2000, "p": 0.01, "steps": 120, "seed": 17},
+    "smoke": {"n": 120, "p": 0.2, "steps": 30, "seed": 17},
+}
+
+
+def _run_case(case: Dict[str, Any], scale: str, repeats: int) -> Dict[str, Any]:
+    params = dict(case[scale])
+    prefs = GENERATORS[case["generator"]](**params)
+    eps = case["eps"]
+
+    wall = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = asm(prefs, eps)
+        elapsed = time.perf_counter() - t0
+        if wall is None or elapsed < wall:
+            wall = elapsed
+
+    tracemalloc.start()
+    asm(prefs, eps)
+    _, alloc_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    blocking = count_blocking_pairs(prefs, result.matching)
+    return {
+        "name": case["name"],
+        "generator": case["generator"],
+        "params": params,
+        "eps": eps,
+        "wall_seconds": wall,
+        "alloc_peak_bytes": alloc_peak,
+        "counters": {
+            "num_edges": result.num_edges,
+            "matching_size": len(result.matching),
+            "blocking_pairs": blocking,
+            "rounds_active": result.rounds.rounds_active,
+            "rounds_scheduled": result.rounds.rounds_scheduled,
+            "synchronous_time": result.synchronous_time,
+            "proposal_rounds_executed": result.proposal_rounds_executed,
+            "messages": (
+                result.messages.proposes
+                + result.messages.accepts
+                + result.messages.rejects
+            ),
+        },
+    }
+
+
+def run_index_vs_oracle(scale: str = "full") -> Dict[str, Any]:
+    """Incremental :class:`BlockingPairIndex` vs. the full-scan oracle.
+
+    Replays the same blocking-pair-satisfaction trajectory twice — once
+    maintaining the count incrementally, once re-counting with the
+    ``O(|E|)`` full scan after every step — asserts the two count
+    sequences agree exactly, and reports the wall-time ratio.  The
+    acceptance gate requires ≥ 3× at full scale (n=2000).
+    """
+    cfg = INDEX_VS_ORACLE_SCALES[scale]
+    prefs = gnp_incomplete(cfg["n"], cfg["p"], seed=cfg["seed"])
+    rng = random.Random(cfg["seed"])
+
+    # Pass 1 (timed): incremental index drives the trajectory.
+    t0 = time.perf_counter()
+    index = BlockingPairIndex(prefs)
+    ops: List[Tuple[int, int]] = []
+    index_counts: List[int] = [len(index)]
+    for _ in range(cfg["steps"]):
+        if not len(index):
+            break
+        pair = index.choose(rng)
+        index.satisfy(*pair)
+        ops.append(pair)
+        index_counts.append(len(index))
+    index_seconds = time.perf_counter() - t0
+
+    # Pass 2 (timed): identical trajectory, full rescan per step.
+    t0 = time.perf_counter()
+    current = MutableMatching()
+    oracle_counts: List[int] = [
+        count_blocking_pairs(prefs, current.freeze())
+    ]
+    for m, w in ops:
+        old_w = current.partner_of_man(m)
+        old_m = current.partner_of_woman(w)
+        if old_w is not None:
+            current.unmatch_man(m)
+        if old_m is not None:
+            current.unmatch_woman(w)
+        current.match(m, w)
+        oracle_counts.append(count_blocking_pairs(prefs, current.freeze()))
+    oracle_seconds = time.perf_counter() - t0
+
+    agree = index_counts == oracle_counts
+    return {
+        "n": cfg["n"],
+        "p": cfg["p"],
+        "steps": len(ops),
+        "seed": cfg["seed"],
+        "index_seconds": index_seconds,
+        "oracle_seconds": oracle_seconds,
+        "speedup": (oracle_seconds / index_seconds) if index_seconds else 0.0,
+        "agree": agree,
+        "final_blocking_pairs": index_counts[-1],
+    }
+
+
+def run_bench(scale: str = "full", repeats: int = 3) -> Dict[str, Any]:
+    """Execute the pinned matrix and return the report body.
+
+    Parameters
+    ----------
+    scale:
+        ``"full"`` (the committed baseline) or ``"smoke"`` (CI sizes).
+    repeats:
+        Timing repetitions per case; the minimum is reported.
+    """
+    if scale not in ("full", "smoke"):
+        raise InvalidParameterError(
+            f"scale must be 'full' or 'smoke', got {scale!r}"
+        )
+    if repeats < 1:
+        raise InvalidParameterError(f"repeats must be >= 1, got {repeats}")
+    cases = [_run_case(case, scale, repeats) for case in WORKLOAD_MATRIX]
+    report: Dict[str, Any] = {
+        "scale": scale,
+        "repeats": repeats,
+        "cases": cases,
+        "index_vs_oracle": run_index_vs_oracle(scale),
+        "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+    return report
+
+
+def compare_reports(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.25,
+    min_wall_seconds: float = 0.05,
+) -> List[str]:
+    """Violations of ``current`` against ``baseline``; empty = pass.
+
+    Deterministic counters must match exactly.  Wall time may regress
+    by at most ``tolerance`` (relative), checked only when the baseline
+    case took at least ``min_wall_seconds`` — below that, scheduler
+    noise dominates and timing comparisons are meaningless.
+    """
+    violations: List[str] = []
+    if current.get("scale") != baseline.get("scale"):
+        violations.append(
+            f"scale mismatch: current={current.get('scale')!r} "
+            f"baseline={baseline.get('scale')!r}"
+        )
+        return violations
+    base_cases = {c["name"]: c for c in baseline.get("cases", [])}
+    cur_cases = {c["name"]: c for c in current.get("cases", [])}
+    for name, base in base_cases.items():
+        cur = cur_cases.get(name)
+        if cur is None:
+            violations.append(f"{name}: missing from current report")
+            continue
+        if cur["counters"] != base["counters"]:
+            diffs = [
+                f"{key}: {base['counters'][key]} -> {cur['counters'].get(key)}"
+                for key in base["counters"]
+                if cur["counters"].get(key) != base["counters"][key]
+            ]
+            violations.append(
+                f"{name}: deterministic counters changed ({'; '.join(diffs)})"
+            )
+        base_wall = base.get("wall_seconds") or 0.0
+        cur_wall = cur.get("wall_seconds") or 0.0
+        if (
+            base_wall >= min_wall_seconds
+            and cur_wall > base_wall * (1.0 + tolerance)
+        ):
+            violations.append(
+                f"{name}: wall time regressed {base_wall:.4f}s -> "
+                f"{cur_wall:.4f}s (> {tolerance:.0%} tolerance)"
+            )
+    ivo_base: Optional[Dict[str, Any]] = baseline.get("index_vs_oracle")
+    ivo_cur: Optional[Dict[str, Any]] = current.get("index_vs_oracle")
+    if ivo_base and ivo_cur:
+        if not ivo_cur.get("agree", False):
+            violations.append(
+                "index_vs_oracle: incremental index disagrees with "
+                "full-scan oracle"
+            )
+        if ivo_cur.get("final_blocking_pairs") != ivo_base.get(
+            "final_blocking_pairs"
+        ):
+            violations.append(
+                "index_vs_oracle: trajectory diverged "
+                f"({ivo_base.get('final_blocking_pairs')} -> "
+                f"{ivo_cur.get('final_blocking_pairs')} final blocking pairs)"
+            )
+    return violations

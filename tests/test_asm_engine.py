@@ -331,10 +331,23 @@ class TestEdgeCases:
         assert run.matching.partner_of_woman(0) is not None
         assert instability(prefs, run.matching) <= 0.5
 
-    def test_eps_greater_than_one(self):
-        # eps > 1 is legal (trivially satisfiable) and must not crash.
+    def test_eps_greater_than_one_rejected(self):
+        # eps > 1 collapses k = ceil(8/eps) toward 1 and pushes
+        # delta = eps/8 past 1/8, voiding Theorem 3's accounting —
+        # params_for_eps must reject it.
         prefs = complete_uniform(6, seed=0)
-        run = asm(prefs, 2.0)
+        with pytest.raises(InvalidParameterError):
+            asm(prefs, 2.0)
+
+    def test_eps_nonpositive_rejected(self):
+        prefs = complete_uniform(6, seed=0)
+        for bad in (0.0, -0.5):
+            with pytest.raises(InvalidParameterError):
+                asm(prefs, bad)
+
+    def test_eps_one_accepted(self):
+        prefs = complete_uniform(6, seed=0)
+        run = asm(prefs, 1.0)
         assert instability(prefs, run.matching) <= 1.0
 
 

@@ -14,9 +14,17 @@ import itertools
 
 import pytest
 
-from repro.analysis.stability import count_blocking_pairs, is_stable
+from repro.analysis.stability import (
+    BlockingPairIndex,
+    count_blocking_pairs,
+    find_blocking_pairs,
+    is_stable,
+    rank_or_unmatched_man,
+    rank_or_unmatched_woman,
+)
 from repro.baselines.gale_shapley import gale_shapley, parallel_gale_shapley
 from repro.core.asm import asm
+from repro.core.matching import Matching
 from repro.core.preferences import PreferenceProfile
 
 
@@ -133,3 +141,91 @@ class TestExhaustiveIncomplete2x2:
         for prefs in all_incomplete_2x2_profiles():
             run = asm(prefs, 0.01, check_invariants=True)
             assert is_stable(prefs, run.matching)
+
+
+def all_incomplete_profiles(n_men: int, n_women: int):
+    """Every market on ``n_men × n_women``: each potential edge present
+    or absent, each player ordering their acceptable set every way.
+
+    Generalizes :func:`all_incomplete_2x2_profiles` to asymmetric
+    markets, where ``deg(m)`` and ``deg(w)`` differ across the two
+    sides and the ``P_v(∅) = deg(v) + 1`` convention must use each
+    player's *own* degree.
+    """
+    edges_all = [
+        (m, w) for m in range(n_men) for w in range(n_women)
+    ]
+    for mask in range(1 << len(edges_all)):
+        edges = [e for i, e in enumerate(edges_all) if mask >> i & 1]
+        men_sets = [
+            sorted(w for (m, w) in edges if m == mm) for mm in range(n_men)
+        ]
+        women_sets = [
+            sorted(m for (m, w) in edges if w == ww) for ww in range(n_women)
+        ]
+        for men in itertools.product(
+            *(itertools.permutations(s) for s in men_sets)
+        ):
+            for women in itertools.product(
+                *(itertools.permutations(s) for s in women_sets)
+            ):
+                yield PreferenceProfile(list(men), list(women))
+
+
+def all_matchings(prefs: PreferenceProfile):
+    """Every matching of ``prefs`` (subsets of edges, no shared player)."""
+    edges = sorted(prefs.edges())
+    for r in range(len(edges) + 1):
+        for subset in itertools.combinations(edges, r):
+            men = [m for m, _ in subset]
+            women = [w for _, w in subset]
+            if len(set(men)) == len(men) and len(set(women)) == len(women):
+                yield Matching(subset)
+
+
+class TestExhaustiveAsymmetric2x3:
+    """Asymmetric-degree regressions (satellite audit of the rank
+    conventions): the 2-men × 3-women space exercises every combination
+    of unequal side sizes, empty lists, and isolated players."""
+
+    def test_rank_convention_uses_own_degree(self):
+        for prefs in all_incomplete_profiles(2, 3):
+            empty = Matching()
+            for m in range(prefs.n_men):
+                assert rank_or_unmatched_man(prefs, empty, m) == (
+                    prefs.deg_man(m) + 1
+                )
+            for w in range(prefs.n_women):
+                assert rank_or_unmatched_woman(prefs, empty, w) == (
+                    prefs.deg_woman(w) + 1
+                )
+
+    def test_asm_theorem3_and_engine_equivalence_on_2x3(self):
+        eps = 0.5
+        checked = 0
+        for prefs in all_incomplete_profiles(2, 3):
+            fast = asm(prefs, eps, check_invariants=True)
+            reference = asm(prefs, eps, optimized=False)
+            assert fast == reference
+            fast.matching.validate_against(prefs)
+            assert count_blocking_pairs(prefs, fast.matching) <= (
+                eps * prefs.num_edges
+            )
+            checked += 1
+        # sum over the 64 edge masks of prod(deg!) per player
+        assert checked == 847  # the sweep really enumerated the space
+
+    def test_index_agrees_with_oracle_on_every_2x3_matching(self):
+        for prefs in all_incomplete_profiles(2, 3):
+            index = BlockingPairIndex(prefs)
+            for matching in all_matchings(prefs):
+                index.update_to(matching)
+                assert index.pairs() == sorted(
+                    find_blocking_pairs(prefs, matching)
+                )
+
+    def test_gs_stable_on_every_2x3(self):
+        for prefs in all_incomplete_profiles(2, 3):
+            result = gale_shapley(prefs)
+            result.matching.validate_against(prefs)
+            assert is_stable(prefs, result.matching)

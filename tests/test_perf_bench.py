@@ -1,0 +1,233 @@
+"""Tests for the benchmark harness (``repro.perf.bench``) and its gate.
+
+Covers the report structure of :func:`run_bench` at smoke scale, every
+verdict of :func:`compare_reports` (pass, counter drift, wall-time
+regression, missing case, scale mismatch), the ``save_bench`` /
+``load_bench`` round trip, and — mirroring PR 1's telemetry guard — a
+benchmark-overhead guard asserting the incremental blocking-pair index
+actually beats the full-scan oracle on a moderate trajectory.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import random
+from time import perf_counter
+
+import pytest
+
+from repro.analysis.stability import count_blocking_pairs, find_blocking_pairs
+from repro.core.matching import MutableMatching
+from repro.errors import InvalidParameterError
+from repro.io import FileFormatError, load_bench, save_bench
+from repro.perf import BlockingPairIndex, compare_reports, run_bench
+from repro.perf.bench import WORKLOAD_MATRIX, run_index_vs_oracle
+from repro.workloads.generators import gnp_incomplete
+
+COUNTER_KEYS = {
+    "num_edges",
+    "matching_size",
+    "blocking_pairs",
+    "rounds_active",
+    "rounds_scheduled",
+    "synchronous_time",
+    "proposal_rounds_executed",
+    "messages",
+}
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_bench(scale="smoke", repeats=1)
+
+
+class TestRunBench:
+    def test_report_structure(self, smoke_report):
+        assert smoke_report["scale"] == "smoke"
+        assert smoke_report["repeats"] == 1
+        assert smoke_report["max_rss_kb"] > 0
+        names = [case["name"] for case in smoke_report["cases"]]
+        assert names == [case["name"] for case in WORKLOAD_MATRIX]
+        for case in smoke_report["cases"]:
+            assert case["wall_seconds"] > 0
+            assert case["alloc_peak_bytes"] > 0
+            assert COUNTER_KEYS <= set(case["counters"])
+        ivo = smoke_report["index_vs_oracle"]
+        assert ivo["agree"] is True
+        assert ivo["index_seconds"] > 0 and ivo["oracle_seconds"] > 0
+
+    def test_deterministic_counters_across_runs(self, smoke_report):
+        again = run_bench(scale="smoke", repeats=1)
+        for a, b in zip(smoke_report["cases"], again["cases"]):
+            assert a["counters"] == b["counters"]
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_bench(scale="huge")
+        with pytest.raises(InvalidParameterError):
+            run_bench(scale="smoke", repeats=0)
+
+    def test_index_vs_oracle_smoke_agrees(self):
+        ivo = run_index_vs_oracle(scale="smoke")
+        assert ivo["agree"] is True
+        assert ivo["final_blocking_pairs"] >= 0
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self, smoke_report):
+        assert compare_reports(smoke_report, smoke_report) == []
+
+    def test_wall_time_within_tolerance_passes(self, smoke_report):
+        current = copy.deepcopy(smoke_report)
+        for case in current["cases"]:
+            case["wall_seconds"] = case["wall_seconds"] * 1.1
+        assert compare_reports(current, smoke_report, tolerance=0.25) == []
+
+    def test_wall_time_regression_flagged(self, smoke_report):
+        current = copy.deepcopy(smoke_report)
+        slow = current["cases"][0]
+        # push well past both the noise floor and the tolerance
+        slow["wall_seconds"] = smoke_report["cases"][0]["wall_seconds"] + 10.0
+        violations = compare_reports(
+            current, smoke_report, tolerance=0.25, min_wall_seconds=0.0
+        )
+        assert len(violations) == 1
+        assert slow["name"] in violations[0]
+
+    def test_sub_noise_floor_regression_ignored(self, smoke_report):
+        current = copy.deepcopy(smoke_report)
+        case = current["cases"][0]
+        case["wall_seconds"] = case["wall_seconds"] * 3
+        violations = compare_reports(
+            current, smoke_report, tolerance=0.25, min_wall_seconds=1e9
+        )
+        assert violations == []
+
+    def test_counter_drift_flagged(self, smoke_report):
+        current = copy.deepcopy(smoke_report)
+        current["cases"][1]["counters"]["messages"] += 1
+        violations = compare_reports(current, smoke_report)
+        assert any("messages" in v for v in violations)
+
+    def test_missing_case_flagged(self, smoke_report):
+        current = copy.deepcopy(smoke_report)
+        dropped = current["cases"].pop()
+        violations = compare_reports(current, smoke_report)
+        assert any(dropped["name"] in v for v in violations)
+
+    def test_scale_mismatch_flagged(self, smoke_report):
+        current = copy.deepcopy(smoke_report)
+        current["scale"] = "full"
+        violations = compare_reports(current, smoke_report)
+        assert len(violations) == 1
+        assert "scale" in violations[0]
+
+    def test_index_disagreement_flagged(self, smoke_report):
+        current = copy.deepcopy(smoke_report)
+        current["index_vs_oracle"]["agree"] = False
+        violations = compare_reports(current, smoke_report)
+        assert any("index_vs_oracle" in v for v in violations)
+
+
+class TestBenchIO:
+    def test_save_load_roundtrip(self, smoke_report, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        save_bench(smoke_report, path, metadata={"rev": "abc1234"})
+        loaded = load_bench(path)
+        assert loaded == smoke_report
+        raw = json.loads(path.read_text())
+        assert raw["kind"] == "bench_report"
+        assert raw["metadata"]["rev"] == "abc1234"
+
+    def test_load_rejects_wrong_kind(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"format": "repro", "version": 1, "kind": "matching"})
+        )
+        with pytest.raises(FileFormatError):
+            load_bench(path)
+
+    def test_load_rejects_missing_body(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {"format": "repro", "version": 1, "kind": "bench_report"}
+            )
+        )
+        with pytest.raises(FileFormatError):
+            load_bench(path)
+
+
+class TestIndexOverheadGuard:
+    """The index must beat the full-scan oracle on a moderate trajectory.
+
+    Mirrors PR 1's telemetry-overhead guard: interleaved best-of-N
+    timing so shared-CI scheduler noise cannot flip the verdict.  The
+    acceptance-criterion 3× speedup is asserted at n=2000 by the
+    committed BENCH report; here a softer 1.5× bound at moderate scale
+    keeps the test fast and non-flaky.
+    """
+
+    def test_index_faster_than_oracle(self):
+        n, steps, repeats = 400, 60, 3
+        prefs = gnp_incomplete(n, 0.03, seed=11)
+
+        def build_ops():
+            index = BlockingPairIndex(prefs)
+            rng = random.Random(11)
+            ops = []
+            for _ in range(steps):
+                if not len(index):
+                    break
+                pair = index.choose(rng)
+                index.satisfy(*pair)
+                ops.append(pair)
+            return ops
+
+        ops = build_ops()
+        assert len(ops) >= 10  # trajectory long enough to be meaningful
+
+        def run_index():
+            index = BlockingPairIndex(prefs)
+            total = 0
+            for m, w in ops:
+                index.satisfy(m, w)
+                total += len(index)
+            return total
+
+        def run_oracle():
+            mm = MutableMatching()
+            total = 0
+            for m, w in ops:
+                old_w = mm.partner_of_man(m)
+                if old_w is not None:
+                    mm.unmatch_man(m)
+                old_m = mm.partner_of_woman(w)
+                if old_m is not None:
+                    mm.unmatch_woman(w)
+                mm.match(m, w)
+                total += count_blocking_pairs(prefs, mm.freeze())
+            return total
+
+        assert run_index() == run_oracle()  # exact agreement first
+
+        best_index = best_oracle = float("inf")
+        for _ in range(repeats):  # interleaved best-of-N
+            t0 = perf_counter()
+            run_index()
+            best_index = min(best_index, perf_counter() - t0)
+            t0 = perf_counter()
+            run_oracle()
+            best_oracle = min(best_oracle, perf_counter() - t0)
+
+        assert best_oracle >= 1.5 * best_index, (
+            f"index {best_index:.4f}s vs oracle {best_oracle:.4f}s "
+            f"({best_oracle / best_index:.2f}x)"
+        )
+
+    def test_index_init_matches_oracle_scan(self):
+        prefs = gnp_incomplete(60, 0.2, seed=12)
+        index = BlockingPairIndex(prefs)
+        empty = index.current_matching()
+        assert index.pairs() == sorted(find_blocking_pairs(prefs, empty))

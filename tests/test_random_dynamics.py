@@ -92,22 +92,19 @@ def test_dynamics_always_converges_property(n, seed):
 @settings(max_examples=15, deadline=None)
 @given(n=st.integers(2, 8), p=st.floats(0.3, 1.0), seed=st.integers(0, 50))
 def test_incremental_tracker_matches_recompute(n, p, seed):
-    """The O(Δ)-per-step blocking tracker stays exactly in sync with
+    """The O(Δ)-per-step blocking index stays exactly in sync with
     the from-scratch O(|E|) recomputation after every satisfied pair."""
     import random as _random
 
     from repro.analysis.stability import find_blocking_pairs
-    from repro.baselines.random_dynamics import _BlockingTracker
-    from repro.core.matching import MutableMatching
+    from repro.perf.blocking_index import BlockingPairIndex
 
     prefs = gnp_incomplete(n, p, seed=seed)
-    current = MutableMatching()
-    tracker = _BlockingTracker(prefs, current)
+    index = BlockingPairIndex(prefs)
     rng = _random.Random(seed)
     for _ in range(15):
-        expected = set(find_blocking_pairs(prefs, current.freeze()))
-        actual = set(tracker.pool._items)
-        assert actual == expected
+        expected = sorted(find_blocking_pairs(prefs, index.current_matching()))
+        assert index.pairs() == expected
         if not expected:
             break
-        tracker.satisfy(*tracker.pool.choose(rng))
+        index.satisfy(*index.choose(rng))
