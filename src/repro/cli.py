@@ -42,6 +42,7 @@ from repro.core.asm import asm
 from repro.core.rand_asm import rand_asm
 from repro.obs.manifest import RunManifest
 from repro.obs.telemetry import Telemetry
+from repro.parallel import TrialPool
 from repro.workloads.generators import GENERATORS
 
 __all__ = ["main", "build_parser"]
@@ -80,6 +81,30 @@ def _eps_arg(text: str) -> float:
             f"eps must satisfy 0 < eps <= 1, got {value}"
         )
     return value
+
+
+def _workers_arg(text: str) -> int:
+    """argparse type for ``--workers``: a positive worker count."""
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from exc
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 1, got {value}"
+        )
+    return value
+
+
+def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=1,
+        metavar="N",
+        help="worker processes for the trial sweep (default 1 = serial; "
+        "results are bit-identical for any N, see docs/parallel.md)",
+    )
 
 
 def _telemetry_for(
@@ -298,21 +323,60 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    import json
+
     kwargs = _QUICK_OVERRIDES.get(args.name.lower(), {}) if args.quick else {}
     if args.seed is not None:
         kwargs = dict(kwargs, seed=args.seed)
-    result = run_experiment(args.name, **kwargs)
-    print(result.table())
+    try:
+        result = run_experiment(
+            args.name, pool=TrialPool(workers=args.workers), **kwargs
+        )
+    except KeyError:
+        print(
+            f"error: unknown experiment {args.name!r}; "
+            f"valid ids: {', '.join(sorted(ALL_EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.table())
     return 0 if result.passed else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    names = list(ALL_EXPERIMENTS)
+    if args.only:
+        requested = [
+            part.strip().lower()
+            for chunk in args.only
+            for part in chunk.split(",")
+            if part.strip()
+        ]
+        unknown = sorted(set(requested) - set(ALL_EXPERIMENTS))
+        if unknown:
+            print(
+                f"error: unknown experiment ids {', '.join(unknown)}; "
+                f"valid ids: {', '.join(sorted(ALL_EXPERIMENTS))}",
+                file=sys.stderr,
+            )
+            return 2
+        # Keep registry order (e1..a5), independent of --only order.
+        names = [name for name in names if name in set(requested)]
+    pool = TrialPool(workers=args.workers)
     all_passed = True
-    for name in ALL_EXPERIMENTS:
+    documents: List[Dict[str, Any]] = []
+    for name in names:
         kwargs = _QUICK_OVERRIDES.get(name, {}) if args.quick else {}
         t0 = time.time()
-        result = run_experiment(name, **kwargs)
-        if args.markdown:
+        result = run_experiment(name, pool=pool, **kwargs)
+        if args.json:
+            documents.append(result.to_dict())
+        elif args.markdown:
             print(result.to_markdown())
             print()
         else:
@@ -320,7 +384,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(f"elapsed: {time.time() - t0:.1f}s")
             print()
         all_passed = all_passed and result.passed
-    if args.markdown:
+    if args.json:
+        # No wall-clock fields: byte-identical for any --workers N,
+        # which is what the parallel-smoke CI job diffs.
+        print(
+            json.dumps(
+                {"experiments": documents, "overall_passed": all_passed},
+                indent=2,
+            )
+        )
+    elif args.markdown:
         print(f"**Overall: {'PASS' if all_passed else 'FAIL'}**")
     else:
         print("overall:", "PASS" if all_passed else "FAIL")
@@ -421,12 +494,18 @@ def _git_rev() -> str:
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the pinned benchmark matrix; optionally gate vs. a baseline."""
     from repro.io import load_bench, save_bench
-    from repro.perf.bench import compare_reports, run_bench
+    from repro.perf.bench import (
+        compare_reports,
+        provenance_warnings,
+        run_bench,
+    )
 
     rev = _git_rev()
-    report = run_bench(scale=args.scale, repeats=args.repeats)
+    report = run_bench(
+        scale=args.scale, repeats=args.repeats, workers=args.workers
+    )
     out = args.out if args.out else f"BENCH_{rev}.json"
-    save_bench(report, out, metadata={"rev": rev})
+    save_bench(report, out, metadata={"rev": rev, "workers": args.workers})
 
     rows: List[Dict[str, Any]] = []
     for case in report["cases"]:
@@ -459,6 +538,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 1
     if args.baseline:
         baseline = load_bench(args.baseline)
+        # Provenance mismatches (different machine shape, python, or
+        # worker count) make wall times incomparable but are not a
+        # regression by themselves: warn, never fail.
+        for warning in provenance_warnings(report, baseline):
+            print(f"WARNING: {warning}", file=sys.stderr)
         violations = compare_reports(
             report,
             baseline,
@@ -577,6 +661,12 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("name", help="experiment id, e.g. e1 or a3")
     exp_p.add_argument("--quick", action="store_true", help="small-scale run")
     exp_p.add_argument("--seed", type=int, default=None)
+    exp_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result as JSON instead of a table",
+    )
+    _add_workers_flag(exp_p)
     exp_p.set_defaults(func=_cmd_experiment)
 
     rep_p = sub.add_parser("report", help="run every experiment")
@@ -586,6 +676,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit markdown sections (for EXPERIMENTS.md)",
     )
+    rep_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit all results as one JSON document (no timing fields; "
+        "deterministic across --workers, used by the CI parallel-smoke "
+        "diff)",
+    )
+    rep_p.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="IDS",
+        help="comma-separated experiment ids to run (repeatable); "
+        "default: all",
+    )
+    _add_workers_flag(rep_p)
     rep_p.set_defaults(func=_cmd_report)
 
     con_p = sub.add_parser(
@@ -651,6 +757,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip wall-time comparison for baseline cases faster than "
         "this many seconds (noise floor)",
     )
+    _add_workers_flag(bench_p)
     bench_p.set_defaults(func=_cmd_bench)
 
     lint_p = sub.add_parser(

@@ -46,6 +46,8 @@ DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
     "messages": ("src/repro",),
     # Telemetry hygiene: all library code.
     "library": ("src/repro",),
+    # Process fan-out: everywhere except the sanctioned pool itself.
+    "parallelism": ("src/repro",),
 }
 
 # Per-scope exemptions (entry points, the telemetry layer itself, and
@@ -60,6 +62,9 @@ DEFAULT_EXEMPT: Dict[str, Tuple[str, ...]] = {
         "src/repro/io.py",
         "src/repro/obs",
     ),
+    # repro.parallel is the one sanctioned home for process pools
+    # (DET003 sends everything else there).
+    "parallelism": ("src/repro/parallel",),
 }
 
 

@@ -19,9 +19,17 @@ needs to make run traces comparable.  Two things silently break it:
     interleaves it invisibly.  Use an explicitly seeded
     ``random.Random`` instance (the CONGEST protocols derive one per
     node from the run seed).
+``DET003``
+    Direct ``multiprocessing`` / ``ProcessPoolExecutor`` use outside
+    ``src/repro/parallel``.  Ad-hoc process pools reintroduce exactly
+    the nondeterminism :class:`repro.parallel.pool.TrialPool` was
+    built to contain (completion-order merges, worker-dependent
+    seeding, silent worker death); all fan-out must route through it.
 
-Scope: ``src/repro/core``, ``src/repro/mm``, ``src/repro/baselines`` —
-the layers whose outputs experiments replay.  ``dict`` iteration is
+Scope: DET001/DET002 apply to ``src/repro/core``, ``src/repro/mm``,
+``src/repro/baselines`` — the layers whose outputs experiments replay;
+DET003 applies to all of ``src/repro`` except ``src/repro/parallel``
+itself (the ``parallelism`` scope).  ``dict`` iteration is
 deliberately *not* flagged: Python 3.7+ dicts are insertion-ordered,
 so a deterministic insertion sequence gives a deterministic iteration.
 """
@@ -35,7 +43,7 @@ from repro.lint.config import LintConfig
 from repro.lint.engine import Rule, SourceFile, register
 from repro.lint.violations import Violation
 
-__all__ = ["SetIterationRule", "GlobalRandomRule"]
+__all__ = ["SetIterationRule", "GlobalRandomRule", "ProcessSpawnRule"]
 
 _SET_TYPE_NAMES = frozenset({"Set", "FrozenSet", "set", "frozenset"})
 _CONTAINER_TYPE_NAMES = frozenset(
@@ -293,3 +301,70 @@ class GlobalRandomRule(Rule):
                         f"RNG (unseeded across runs); use a seeded "
                         f"random.Random instance",
                     )
+
+
+@register
+class ProcessSpawnRule(Rule):
+    rule_id = "DET003"
+    family = "DET"
+    scope = "parallelism"
+    description = (
+        "No direct multiprocessing/ProcessPoolExecutor use outside "
+        "repro.parallel — route sweeps through TrialPool."
+    )
+
+    _EXECUTOR_NAMES = frozenset({"ProcessPoolExecutor", "BrokenProcessPool"})
+
+    _WHY = (
+        "ad-hoc process fan-out breaks the determinism contract "
+        "(completion-order merges, worker-dependent seeding); use "
+        "repro.parallel.TrialPool"
+    )
+
+    def check(self, src: SourceFile, config: LintConfig) -> Iterator[Violation]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                bad = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name == "multiprocessing"
+                    or alias.name.startswith("multiprocessing.")
+                ]
+                if bad:
+                    yield self.violation(
+                        src,
+                        node,
+                        f"import of {', '.join(bad)}: {self._WHY}",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "multiprocessing" or module.startswith(
+                    "multiprocessing."
+                ):
+                    yield self.violation(
+                        src,
+                        node,
+                        f"import from {module}: {self._WHY}",
+                    )
+                elif module.startswith("concurrent.futures"):
+                    bad = [
+                        alias.name
+                        for alias in node.names
+                        if alias.name in self._EXECUTOR_NAMES
+                    ]
+                    if bad:
+                        yield self.violation(
+                            src,
+                            node,
+                            f"import of {', '.join(bad)} from {module}: "
+                            f"{self._WHY}",
+                        )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr in self._EXECUTOR_NAMES
+            ):
+                yield self.violation(
+                    src,
+                    node,
+                    f"use of {ast.unparse(node)}: {self._WHY}",
+                )

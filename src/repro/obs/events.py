@@ -15,6 +15,8 @@ kind                  emitted by / meaning
 ``congest_round``     :class:`repro.congest.simulator.Simulator` —
                       one synchronous round (messages/bits/seconds)
 ``message_batch``     per-round message counts grouped by kind
+``trial_chunk``       :class:`repro.parallel.pool.TrialPool` — one
+                      executed chunk of a sharded trial sweep
 ====================  ===============================================
 
 Every record is a flat JSON object (see :meth:`Event.to_dict`), so a
@@ -52,6 +54,7 @@ EVENT_KINDS: FrozenSet[str] = frozenset(
         "outer_iteration",
         "congest_round",
         "message_batch",
+        "trial_chunk",
     }
 )
 
@@ -116,6 +119,58 @@ class EventLog:
                 fields=fields,
             )
         )
+
+    def merge(self, other: "EventLog") -> None:
+        """Append every event of ``other``, renumbering sequence ids.
+
+        Events keep their original relative timestamps (each log's
+        ``t`` is measured from its own creation) and are concatenated
+        in *merge order*, never re-sorted by wall time — wall time
+        differs across worker processes, so time-ordering would make
+        the merged stream depend on scheduling.  The parallel layer
+        merges worker logs in trial-spec order, which makes the merged
+        event sequence identical for any worker count.
+        """
+        if not self.enabled:
+            return
+        for event in other.events:
+            self.events.append(
+                Event(
+                    kind=event.kind,
+                    seq=len(self.events),
+                    t=event.t,
+                    fields=dict(event.fields),
+                )
+            )
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[Dict[str, Any]],
+        extra_kinds: Optional[Iterable[str]] = None,
+    ) -> "EventLog":
+        """Rebuild a log from :meth:`to_records` output.
+
+        Used to reconstitute a worker process's event stream in the
+        parent before :meth:`merge`.  Records are trusted (they were
+        schema-checked at emission), but unknown kinds still raise
+        unless listed in ``extra_kinds``.
+        """
+        log = cls(enabled=True, extra_kinds=extra_kinds)
+        for record in records:
+            payload = dict(record)
+            kind = payload.pop("kind")
+            payload.pop("seq", None)
+            t = payload.pop("t", 0.0)
+            if kind not in log.kinds:
+                raise InvalidParameterError(
+                    f"unknown event kind {kind!r}; known kinds: "
+                    f"{', '.join(sorted(log.kinds))}"
+                )
+            log.events.append(
+                Event(kind=kind, seq=len(log.events), t=t, fields=payload)
+            )
+        return log
 
     def __len__(self) -> int:
         return len(self.events)

@@ -121,6 +121,27 @@ class RunManifest:
         """Stamp the end-of-run timestamp."""
         self.finished_at = self._now()
 
+    def record_parallelism(
+        self,
+        workers: int,
+        chunk_size: int,
+        worker_timings: list,
+    ) -> None:
+        """Record a sharded sweep's execution shape under ``extra``.
+
+        ``worker_timings`` is the per-worker observed wall-time list
+        the :class:`~repro.parallel.pool.TrialPool` collected (one
+        entry per worker process that executed at least one chunk).
+        Timings are provenance, like wall-clock timestamps: they vary
+        run to run and carry no determinism guarantee — the merged
+        *results* do.
+        """
+        self.extra["parallel"] = {
+            "workers": workers,
+            "chunk_size": chunk_size,
+            "worker_timings": list(worker_timings),
+        }
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe manifest document."""
         return {

@@ -151,6 +151,55 @@ class MetricsRegistry:
         return Timer(self, name)
 
     # ------------------------------------------------------------------
+    # Merging (repro.parallel worker -> parent aggregation)
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry.
+
+        Counters add, gauges are last-write-wins (``other`` wins),
+        histogram observation streams are concatenated.  The result is
+        deterministic for a deterministic *merge order* — the parallel
+        layer always merges worker registries in trial-spec order, so a
+        sweep's merged metrics are identical for any worker count.
+        """
+        if not self.enabled:
+            return
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        self.gauges.update(other.gauges)
+        for name, values in other.histograms.items():
+            self.histograms.setdefault(name, []).extend(values)
+
+    def raw_state(self) -> Dict[str, Any]:
+        """Lossless JSON/pickle-safe state (histograms keep raw values).
+
+        Unlike :meth:`to_dict` (which summarizes histograms), this is
+        the exact mutable state — what a worker process ships back to
+        the parent so :meth:`merge` can fold it in.
+        """
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: list(v) for k, v in self.histograms.items()},
+        }
+
+    @classmethod
+    def from_raw_state(cls, state: Dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`raw_state` output."""
+        registry = cls(enabled=True)
+        registry.counters = {
+            str(k): int(v) for k, v in state.get("counters", {}).items()
+        }
+        registry.gauges = {
+            str(k): v for k, v in state.get("gauges", {}).items()
+        }
+        registry.histograms = {
+            str(k): list(v) for k, v in state.get("histograms", {}).items()
+        }
+        return registry
+
+    # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
 

@@ -10,7 +10,15 @@ size — that must reproduce *exactly* across machines.
 :func:`compare_reports` is the gate: deterministic counters are
 compared strictly, wall time with a relative tolerance (and an
 absolute floor below which timing noise dominates and the check is
-skipped).
+skipped).  :func:`provenance_warnings` separately flags *advisory*
+mismatches — different machine shape, Python version, or worker count
+— that make wall times incomparable without being regressions.
+
+``run_bench(..., workers=N)`` shards the matrix across processes via
+:class:`repro.parallel.pool.TrialPool`; each case is one
+:class:`~repro.parallel.spec.TrialSpec` and its wall time is measured
+*inside* the worker, single-threaded, so per-case timings stay
+comparable to serial runs (see ``docs/parallel.md``).
 
 This module performs no I/O (TEL003): persistence goes through
 :func:`repro.io.save_bench` and reporting through the CLI.
@@ -18,6 +26,8 @@ This module performs no I/O (TEL003): persistence goes through
 
 from __future__ import annotations
 
+import os
+import platform
 import random
 import resource
 import time
@@ -28,6 +38,7 @@ from repro.analysis.stability import count_blocking_pairs
 from repro.core.asm import asm
 from repro.core.matching import MutableMatching
 from repro.errors import InvalidParameterError
+from repro.parallel import TrialPool, TrialSpec
 from repro.perf.blocking_index import BlockingPairIndex
 from repro.workloads.generators import GENERATORS, gnp_incomplete
 
@@ -37,6 +48,7 @@ __all__ = [
     "run_bench",
     "run_index_vs_oracle",
     "compare_reports",
+    "provenance_warnings",
 ]
 
 BENCH_KIND = "bench_report"
@@ -191,7 +203,42 @@ def run_index_vs_oracle(scale: str = "full") -> Dict[str, Any]:
     }
 
 
-def run_bench(scale: str = "full", repeats: int = 3) -> Dict[str, Any]:
+# ----------------------------------------------------------------------
+# Spec runners (resolved by name inside worker processes)
+# ----------------------------------------------------------------------
+
+_BENCH_RUNNER = "repro.perf.bench:run_case_spec"
+_IVO_RUNNER = "repro.perf.bench:run_ivo_spec"
+
+
+def run_case_spec(spec: TrialSpec) -> Dict[str, Any]:
+    """Execute one pinned matrix case named by ``spec.workload``.
+
+    Timing happens here, inside the executing (worker) process and
+    single-threaded, so per-case wall times mean the same thing at any
+    ``--workers N``.
+    """
+    matching = [c for c in WORKLOAD_MATRIX if c["name"] == spec.workload]
+    if not matching:
+        raise InvalidParameterError(
+            f"unknown bench case {spec.workload!r}; "
+            f"known: {[c['name'] for c in WORKLOAD_MATRIX]}"
+        )
+    return _run_case(
+        matching[0], spec.param("scale"), spec.param("repeats")
+    )
+
+
+def run_ivo_spec(spec: TrialSpec) -> Dict[str, Any]:
+    """Execute the index-vs-oracle comparison for ``spec``'s scale."""
+    return run_index_vs_oracle(spec.param("scale"))
+
+
+def run_bench(
+    scale: str = "full",
+    repeats: int = 3,
+    workers: int = 1,
+) -> Dict[str, Any]:
     """Execute the pinned matrix and return the report body.
 
     Parameters
@@ -200,6 +247,10 @@ def run_bench(scale: str = "full", repeats: int = 3) -> Dict[str, Any]:
         ``"full"`` (the committed baseline) or ``"smoke"`` (CI sizes).
     repeats:
         Timing repetitions per case; the minimum is reported.
+    workers:
+        Worker processes for the matrix (default 1 = in-process).
+        Deterministic counters are identical for any value; per-case
+        wall times remain in-worker single-threaded measurements.
     """
     if scale not in ("full", "smoke"):
         raise InvalidParameterError(
@@ -207,13 +258,43 @@ def run_bench(scale: str = "full", repeats: int = 3) -> Dict[str, Any]:
         )
     if repeats < 1:
         raise InvalidParameterError(f"repeats must be >= 1, got {repeats}")
-    cases = [_run_case(case, scale, repeats) for case in WORKLOAD_MATRIX]
+    specs = [
+        TrialSpec.make(
+            _BENCH_RUNNER,
+            algorithm="asm",
+            workload=case["name"],
+            n=case[scale]["n"],
+            eps=case["eps"],
+            seed=case[scale]["seed"],
+            scale=scale,
+            repeats=repeats,
+        )
+        for case in WORKLOAD_MATRIX
+    ]
+    ivo_cfg = INDEX_VS_ORACLE_SCALES[scale]
+    specs.append(
+        TrialSpec.make(
+            _IVO_RUNNER,
+            algorithm="blocking-index",
+            n=ivo_cfg["n"],
+            seed=ivo_cfg["seed"],
+            scale=scale,
+        )
+    )
+    # One spec per chunk: each bench case is its own timing unit.
+    pool = TrialPool(workers=workers, chunk_size=1)
+    outcomes = pool.run(specs)
     report: Dict[str, Any] = {
         "scale": scale,
         "repeats": repeats,
-        "cases": cases,
-        "index_vs_oracle": run_index_vs_oracle(scale),
+        "cases": outcomes[:-1],
+        "index_vs_oracle": outcomes[-1],
         "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "provenance": {
+            "workers": workers,
+            "cpu_count": os.cpu_count(),
+            "python_version": platform.python_version(),
+        },
     }
     return report
 
@@ -281,3 +362,36 @@ def compare_reports(
                 f"{ivo_cur.get('final_blocking_pairs')} final blocking pairs)"
             )
     return violations
+
+
+def provenance_warnings(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+) -> List[str]:
+    """Advisory provenance mismatches between two reports; empty = same.
+
+    Different worker counts, CPU counts, or Python versions make
+    wall-time comparisons unreliable (different scheduling pressure,
+    interpreter performance) without any code having regressed, so the
+    CLI prints these as warnings and never fails on them — deliberately
+    separate from :func:`compare_reports`'s violations.  Silent when
+    either report predates provenance recording.
+    """
+    cur = current.get("provenance")
+    base = baseline.get("provenance")
+    if not isinstance(cur, dict) or not isinstance(base, dict):
+        return []
+    warnings: List[str] = []
+    labels = {
+        "workers": "worker count",
+        "cpu_count": "CPU count",
+        "python_version": "Python version",
+    }
+    for key, label in labels.items():
+        if cur.get(key) != base.get(key):
+            warnings.append(
+                f"provenance: {label} differs from baseline "
+                f"({base.get(key)!r} -> {cur.get(key)!r}); "
+                "wall-time comparison may be unreliable"
+            )
+    return warnings

@@ -72,9 +72,32 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "[E8]" in out and "PASS" in out
 
-    def test_experiment_unknown(self):
-        with pytest.raises(KeyError):
-            main(["experiment", "nope"])
+    def test_experiment_unknown_exits_2(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'nope'" in err
+        # The error must teach the valid vocabulary.
+        for name in ("e1", "e12", "a5"):
+            assert name in err
+
+    def test_experiment_json(self, capsys):
+        import json
+
+        assert main(["experiment", "e8", "--quick", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "E8"
+        assert payload["passed"] is True
+        assert payload["rows"]
+
+    def test_experiment_workers_matches_serial(self, capsys):
+        assert main(["experiment", "e8", "--quick"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["experiment", "e8", "--quick", "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "e8", "--workers", "0"])
 
     def test_experiment_seed_override(self, capsys):
         assert main(["experiment", "e8", "--quick", "--seed", "3"]) == 0
@@ -227,3 +250,19 @@ class TestCommands:
         assert "## E1 —" in out
         assert "**Overall: PASS**" in out
         assert "| workload |" in out
+
+    def test_report_only_subset_json(self, capsys):
+        import json
+
+        assert main(
+            ["report", "--quick", "--json", "--only", "e8,a3"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        ids = [doc["experiment_id"] for doc in payload["experiments"]]
+        # Registry order, independent of --only order.
+        assert ids == ["E8", "A3"]
+        assert payload["overall_passed"] is True
+
+    def test_report_only_unknown_exits_2(self, capsys):
+        assert main(["report", "--quick", "--only", "zz"]) == 2
+        assert "unknown experiment ids zz" in capsys.readouterr().err

@@ -112,14 +112,18 @@ def build(w):
 '''
 
 DET_VIOLATING = '''\
+import multiprocessing
 import random
+from concurrent.futures import ProcessPoolExecutor
 
 def pick(items):
     pool = set(items)
     out = []
     for x in pool:
         out.append(x)
-    return out, random.randrange(10)
+    with ProcessPoolExecutor(max_workers=2) as executor:
+        futures = [executor.submit(len, x) for x in out]
+    return out, random.randrange(10), futures
 '''
 
 DET_CLEAN = '''\
@@ -177,7 +181,7 @@ FIXTURES = [
         "DET",
         "src/repro/core/fixture_det.py",
         DET_VIOLATING,
-        {"DET001", "DET002"},
+        {"DET001", "DET002", "DET003"},
         DET_CLEAN,
     ),
     (
@@ -226,6 +230,23 @@ def test_family_accepts_clean_fixture(
     assert report.ok, f"{family} false positives:\n" + "\n".join(
         v.format() for v in report.violations
     )
+
+
+def test_det003_exempts_the_parallel_package(tmp_path):
+    """repro.parallel is the sanctioned home for process pools: the
+    same source that fires DET003 elsewhere is exempt there."""
+    source = (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "import multiprocessing\n"
+    )
+    outside = _lint_snippet(
+        tmp_path, "src/repro/analysis/fixture_fanout.py", source
+    )
+    assert any(v.rule == "DET003" for v in outside.violations)
+    inside = _lint_snippet(
+        tmp_path, "src/repro/parallel/fixture_fanout.py", source
+    )
+    assert not any(v.rule == "DET003" for v in inside.violations)
 
 
 @pytest.mark.parametrize("family", REQUIRED_FAMILIES)

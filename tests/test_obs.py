@@ -145,6 +145,7 @@ class TestEventLog:
             "outer_iteration",
             "congest_round",
             "message_batch",
+            "trial_chunk",
         }
 
 
