@@ -67,6 +67,7 @@ _QUICK_OVERRIDES: Dict[str, Dict[str, Any]] = {
     "a3": dict(n_values=(6,)),
     "a4": dict(n=24, trials=1),
     "a5": dict(n_values=(16, 32, 64), trials=1),
+    "faults": dict(n_values=(6,)),
 }
 
 
@@ -79,6 +80,19 @@ def _eps_arg(text: str) -> float:
     if not 0.0 < value <= 1.0:
         raise argparse.ArgumentTypeError(
             f"eps must satisfy 0 < eps <= 1, got {value}"
+        )
+    return value
+
+
+def _rate_arg(text: str) -> float:
+    """argparse type for fault rates: a probability in [0, 1]."""
+    try:
+        value = float(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from exc
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"rate must satisfy 0 <= rate <= 1, got {value}"
         )
     return value
 
@@ -410,6 +424,28 @@ def _cmd_congest(args: argparse.Namespace) -> int:
     )
 
     prefs = _make_workload(args.workload, args.n, args.seed)
+    fault_active = (
+        args.drop_rate > 0
+        or args.duplicate_rate > 0
+        or args.delay_rate > 0
+        or args.crash > 0
+        or args.fault_trace_out is not None
+    )
+    plan = None
+    if fault_active:
+        from repro.faults.harness import fault_plan_for_profile
+
+        plan = fault_plan_for_profile(
+            prefs,
+            fault_seed=args.fault_seed,
+            drop_rate=args.drop_rate,
+            duplicate_rate=args.duplicate_rate,
+            delay_rate=args.delay_rate,
+            max_delay=args.max_delay,
+            crash_nodes=args.crash,
+            crash_round=args.crash_round,
+            restart_after=args.crash_restart,
+        )
     telemetry = _telemetry_for(
         args,
         f"congest-{args.protocol}",
@@ -418,17 +454,35 @@ def _cmd_congest(args: argparse.Namespace) -> int:
             "inner_iterations": args.inner,
             "outer_iterations": args.outer,
             "mm_iterations": args.mm_iterations,
+            "faults": plan is not None,
         },
     )
     t0 = time.time()
+    fault_trace: List[Dict[str, Any]] = []
+    fault_row: Dict[str, Any] = {}
     if args.protocol == "gale-shapley":
-        matching, sim = run_congest_gale_shapley(prefs, telemetry=telemetry)
+        matching, sim = run_congest_gale_shapley(
+            prefs, telemetry=telemetry, faults=plan
+        )
         stats = sim.stats
+        if plan is not None and sim.faults is not None:
+            fault_trace = list(sim.faults.records)
+            fstats = sim.faults.stats
+            fault_row = {
+                "outcome": stats.outcome,
+                "dropped": fstats.messages_dropped,
+                "delayed": fstats.messages_delayed,
+                "duplicated": fstats.messages_duplicated,
+                "crashed": fstats.nodes_crashed,
+                "unresolved": "-",
+                "retries": "-",
+            }
     else:
         overrides = dict(
             inner_iterations=args.inner,
             outer_iterations=args.outer,
             mm_iterations=args.mm_iterations,
+            faults=plan,
         )
         if args.protocol == "asm":
             result = run_congest_asm(prefs, args.eps, seed=args.seed,
@@ -444,8 +498,22 @@ def _cmd_congest(args: argparse.Namespace) -> int:
                 quantile_match_iterations=args.inner,
                 mm_iterations=args.mm_iterations,
                 telemetry=telemetry,
+                faults=plan,
             )
         matching, stats = result.matching, result.stats
+        if plan is not None:
+            fault_trace = [dict(r) for r in result.fault_trace]
+            fstats = result.fault_stats
+            fault_row = {
+                "outcome": stats.outcome,
+                "dropped": fstats.messages_dropped,
+                "delayed": fstats.messages_delayed,
+                "duplicated": fstats.messages_duplicated,
+                "crashed": fstats.nodes_crashed,
+                "unresolved": len(result.unresolved_men)
+                + len(result.unresolved_women),
+                "retries": result.retries,
+            }
     rep = stability_report(prefs, matching)
     if telemetry is not None:
         telemetry.metrics.set_gauge("run.wall_seconds", time.time() - t0)
@@ -453,20 +521,36 @@ def _cmd_congest(args: argparse.Namespace) -> int:
         telemetry.metrics.set_gauge("congest.max_message_bits",
                                     stats.max_message_bits)
     _export_telemetry(args, telemetry)
+    if args.fault_trace_out is not None:
+        from repro.io import save_fault_trace
+
+        save_fault_trace(
+            fault_trace,
+            args.fault_trace_out,
+            metadata={
+                "protocol": args.protocol,
+                "workload": args.workload,
+                "n": args.n,
+                "eps": args.eps,
+                "seed": args.seed,
+                "fault_seed": args.fault_seed,
+            },
+        )
+        print(f"fault trace written to {args.fault_trace_out}")
+    row: Dict[str, Any] = {
+        "protocol": args.protocol,
+        "matching_size": rep.matching_size,
+        "instability": rep.instability,
+        "rounds": stats.rounds,
+        "messages": stats.messages,
+        "total_bits": stats.total_bits,
+        "max_msg_bits": stats.max_message_bits,
+    }
+    row.update(fault_row)
+    row["seconds"] = time.time() - t0
     print(
         format_table(
-            [
-                {
-                    "protocol": args.protocol,
-                    "matching_size": rep.matching_size,
-                    "instability": rep.instability,
-                    "rounds": stats.rounds,
-                    "messages": stats.messages,
-                    "total_bits": stats.total_bits,
-                    "max_msg_bits": stats.max_message_bits,
-                    "seconds": time.time() - t0,
-                }
-            ],
+            [row],
             title=f"CONGEST {args.protocol} on {args.workload} n={args.n}",
         )
     )
@@ -713,6 +797,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="outer-loop iterations override")
     con_p.add_argument("--mm-iterations", type=int, default=16,
                        help="matching-phase iteration budget")
+    fault_g = con_p.add_argument_group(
+        "fault injection",
+        "seeded, deterministic faults applied to message delivery "
+        "(see docs/robustness.md); any of these flags activates the "
+        "injector",
+    )
+    fault_g.add_argument("--drop-rate", type=_rate_arg, default=0.0,
+                         metavar="P", help="per-message drop probability")
+    fault_g.add_argument("--duplicate-rate", type=_rate_arg, default=0.0,
+                         metavar="P",
+                         help="per-message duplication probability")
+    fault_g.add_argument("--delay-rate", type=_rate_arg, default=0.0,
+                         metavar="P", help="per-message delay probability")
+    fault_g.add_argument("--max-delay", type=int, default=2, metavar="R",
+                         help="maximum delay in rounds (default 2)")
+    fault_g.add_argument("--crash", type=int, default=0, metavar="COUNT",
+                         help="crash COUNT deterministically sampled nodes")
+    fault_g.add_argument("--crash-round", type=int, default=3, metavar="R",
+                         help="round the crashes take effect (default 3)")
+    fault_g.add_argument("--crash-restart", type=int, default=None,
+                         metavar="R",
+                         help="restart crashed nodes after R rounds "
+                         "(default: crashes are permanent)")
+    fault_g.add_argument("--fault-seed", type=int, default=0,
+                         help="root seed for all fault decisions")
+    fault_g.add_argument("--fault-trace-out", default=None, metavar="FILE",
+                         help="write the deterministic fault trace as JSON "
+                         "(activates the injector even with all rates 0)")
     _add_telemetry_flags(con_p)
     con_p.set_defaults(func=_cmd_congest)
 

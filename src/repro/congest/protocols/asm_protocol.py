@@ -43,6 +43,8 @@ from repro.core.preferences import PreferenceProfile
 from repro.core.quantile import QuantizedList
 from repro.core.asm import params_for_eps
 from repro.errors import InvalidParameterError, SimulationError
+from repro.faults.injector import FaultStats
+from repro.faults.plan import FaultPlan, RetryTally
 from repro.graphs import (
     NodeId,
     bipartite_graph_from_edges,
@@ -56,6 +58,7 @@ __all__ = [
     "run_congest_asm",
     "run_congest_rand_asm",
     "run_congest_almost_regular_asm",
+    "schedule_round_bound",
 ]
 
 
@@ -165,8 +168,16 @@ def _woman_program(
     pref_list: Tuple[int, ...],
     sched: ASMSchedule,
     rng: Optional[random.Random],
+    tally: Optional[RetryTally] = None,
 ) -> Generator:
-    """The woman's side of ASM (Algorithms 1–3, female role)."""
+    """The woman's side of ASM (Algorithms 1–3, female role).
+
+    Fault tolerance: a proposal from a man she has already removed
+    from ``Q`` is evidence his REJECT was lost (fault-free, a rejected
+    man never proposes again), so she retransmits the REJECT in the
+    final slot.  The retry fires only on that evidence, keeping
+    fault-free runs bit-identical; ``tally`` counts the retries.
+    """
     q = QuantizedList(pref_list, sched.k)
     partner: Optional[int] = None
     for _ in range(sched.outer_iterations):
@@ -179,6 +190,7 @@ def _woman_program(
                     for s, msg in inbox.items()
                     if msg.kind == "PROPOSE"
                 ]
+                stale = sorted(m for m in suitors if not q.contains(m))
                 best = q.best_nonempty_among(suitors)
                 accepted = (
                     {
@@ -208,7 +220,12 @@ def _woman_program(
                     yield free_outbox
                 # --- final slot: reject weakly-worse suitors.
                 outbox: Dict[NodeId, Message] = {}
-                if mm_partner is not None:
+                # The q.contains guard is for faulty runs only: a
+                # stray delayed message can marry the fragment to a
+                # man she never accepted (hence already removed).
+                if mm_partner is not None and q.contains(
+                    node_index(mm_partner)
+                ):
                     m0 = node_index(mm_partner)
                     q0 = q.quantile_of(m0)
                     rejected = q.members_at_least(q0) - {m0}
@@ -216,17 +233,69 @@ def _woman_program(
                         q.remove(m)
                         outbox[man_node(m)] = Message("REJECT")
                     partner = m0
+                # Retransmit lost REJECTs to stale suitors (see
+                # docstring); never reached in a fault-free run.
+                for m in stale:
+                    node = man_node(m)
+                    if node not in outbox:
+                        outbox[node] = Message("REJECT")
+                        if tally is not None:
+                            tally.count += 1
                 yield outbox
     return partner
 
 
 @dataclass
 class CongestASMResult:
-    """Output of a message-level ASM run."""
+    """Output of a message-level ASM run.
+
+    The fault-related fields are populated only when the run carried a
+    :class:`~repro.faults.plan.FaultPlan`; a fault-free run leaves them
+    at their defaults.  ``matching`` then holds only *mutually
+    confirmed* pairs, with every node whose final view is missing
+    (crashed / timed out) or inconsistent reported in
+    ``unresolved_men`` / ``unresolved_women``; the achieved
+    blocking-pair fraction of the degraded matching is what
+    ``repro.analysis.stability`` computes over it.
+    """
 
     matching: Matching
     stats: SimulationStats
     schedule: ASMSchedule
+    unresolved_men: Tuple[int, ...] = ()
+    unresolved_women: Tuple[int, ...] = ()
+    crashed_nodes: Tuple[str, ...] = ()
+    retries: int = 0
+    fault_stats: Optional[FaultStats] = None
+    fault_trace: Tuple[Dict[str, object], ...] = ()
+
+
+def _rounds_per_proposal_round(sched: ASMSchedule) -> int:
+    """Exact synchronous rounds one ProposalRound consumes."""
+    per_mm_iteration = 4 if sched.mm_kind == "israeli_itai" else 2
+    return (
+        2  # propose + accept slots
+        + sched.mm_iterations * per_mm_iteration
+        + (1 if sched.remove_violators else 0)
+        + 1  # final reject slot
+    )
+
+
+def schedule_round_bound(sched: ASMSchedule) -> int:
+    """An upper bound on the simulator rounds ``sched`` can take.
+
+    Programs execute a fixed number of yields (the full schedule), and
+    the simulator spends one extra round observing every program
+    return; a little slack covers that plus trailing deferred
+    deliveries under fault injection.
+    """
+    yields = (
+        sched.outer_iterations
+        * sched.inner_iterations
+        * sched.k
+        * _rounds_per_proposal_round(sched)
+    )
+    return yields + 2
 
 
 def run_congest_asm(
@@ -242,8 +311,14 @@ def run_congest_asm(
     seed: int = 0,
     recorder=None,
     telemetry=None,
+    faults: Optional[FaultPlan] = None,
 ) -> CongestASMResult:
     """Run ASM at the message level over the CONGEST simulator.
+
+    With ``faults``, the run degrades gracefully instead of raising on
+    inconsistency: the result reports the mutually confirmed matching,
+    unresolved nodes, retry counts, and the deterministic fault trace
+    (see :class:`CongestASMResult` and ``docs/robustness.md``).
 
     Defaults follow the paper: ``k = ⌈8/ε⌉``, ``δ = ε/8``, inner loop
     ``⌈2δ⁻¹k⌉``, outer loop ``⌈log₂ n⌉ + 1``, and a maximal-matching
@@ -274,7 +349,7 @@ def run_congest_asm(
         seed=seed,
     )
     return _run_with_schedule(
-        prefs, sched, recorder=recorder, telemetry=telemetry
+        prefs, sched, recorder=recorder, telemetry=telemetry, faults=faults
     )
 
 
@@ -289,6 +364,7 @@ def run_congest_rand_asm(
     mm_iterations: Optional[int] = None,
     recorder=None,
     telemetry=None,
+    faults: Optional[FaultPlan] = None,
 ) -> CongestASMResult:
     """RandASM (Theorem 5) at the message level.
 
@@ -317,6 +393,7 @@ def run_congest_rand_asm(
         seed=seed,
         recorder=recorder,
         telemetry=telemetry,
+        faults=faults,
     )
 
 
@@ -332,6 +409,7 @@ def run_congest_almost_regular_asm(
     mm_kind: str = "israeli_itai",
     recorder=None,
     telemetry=None,
+    faults: Optional[FaultPlan] = None,
 ) -> CongestASMResult:
     """AlmostRegularASM (Theorem 6) at the message level.
 
@@ -364,7 +442,7 @@ def run_congest_almost_regular_asm(
         remove_violators=True,
     )
     return _run_with_schedule(
-        prefs, sched, recorder=recorder, telemetry=telemetry
+        prefs, sched, recorder=recorder, telemetry=telemetry, faults=faults
     )
 
 
@@ -373,6 +451,7 @@ def _run_with_schedule(
     sched: ASMSchedule,
     recorder=None,
     telemetry=None,
+    faults: Optional[FaultPlan] = None,
 ) -> CongestASMResult:
     """Build the node programs for ``sched`` and run the simulation."""
     graph = bipartite_graph_from_edges(
@@ -381,6 +460,7 @@ def _run_with_schedule(
     programs: Dict[NodeId, Generator] = {}
     randomized = sched.mm_kind == "israeli_itai"
     seed = sched.seed
+    tally = RetryTally()
     for m in range(prefs.n_men):
         rng = random.Random(f"{seed}-M-{m}") if randomized else None
         programs[man_node(m)] = _man_program(
@@ -389,23 +469,90 @@ def _run_with_schedule(
     for w in range(prefs.n_women):
         rng = random.Random(f"{seed}-W-{w}") if randomized else None
         programs[woman_node(w)] = _woman_program(
-            w, prefs.woman_list(w), sched, rng
+            w, prefs.woman_list(w), sched, rng, tally
         )
-    sim = Simulator(graph, programs, recorder=recorder, telemetry=telemetry)
-    stats = sim.run()
-    # Assemble the matching from the women's outputs and cross-check
-    # against the men's view.
+    sim = Simulator(
+        graph, programs, recorder=recorder, telemetry=telemetry, faults=faults
+    )
+    if faults is not None:
+        # The schedule is finite, so the run always terminates; the
+        # bound is a backstop, and "stop" keeps degraded runs
+        # reporting instead of raising.
+        stats = sim.run(schedule_round_bound(sched), on_timeout="stop")
+    else:
+        stats = sim.run()
+    if telemetry is not None and telemetry.enabled and tally.count > 0:
+        telemetry.metrics.inc("congest.retries", tally.count)
+    if faults is None:
+        # Assemble the matching from the women's outputs and
+        # cross-check against the men's view.
+        pairs = []
+        for w in range(prefs.n_women):
+            m = sim.results[woman_node(w)]
+            if m is not None:
+                pairs.append((m, w))
+        matching = Matching(pairs)
+        for m in range(prefs.n_men):
+            his = sim.results[man_node(m)]
+            if matching.partner_of_man(m) != his:
+                raise SimulationError(
+                    f"inconsistent final state: man {m} believes his "
+                    f"partner is {his}, women's side says "
+                    f"{matching.partner_of_man(m)}"
+                )
+        return CongestASMResult(
+            matching=matching,
+            stats=stats,
+            schedule=sched,
+            retries=tally.count,
+        )
+    # Tolerant assembly under fault injection: keep only mutually
+    # confirmed pairs; report everyone else (crashed, timed out, or
+    # with a one-sided view) as unresolved.
+    crashed = sim.crashed
     pairs = []
+    confirmed: Dict[int, int] = {}
+    unresolved_men = []
+    unresolved_women = []
     for w in range(prefs.n_women):
-        m = sim.results[woman_node(w)]
-        if m is not None:
+        node = woman_node(w)
+        if node in crashed or node not in sim.results:
+            unresolved_women.append(w)
+            continue
+        m = sim.results[node]
+        if m is None:
+            continue
+        mnode = man_node(m)
+        if (
+            mnode not in crashed
+            and sim.results.get(mnode, _NO_RESULT) == w
+        ):
             pairs.append((m, w))
-    matching = Matching(pairs)
+            confirmed[m] = w
+        else:
+            unresolved_women.append(w)
     for m in range(prefs.n_men):
-        his = sim.results[man_node(m)]
-        if matching.partner_of_man(m) != his:
-            raise SimulationError(
-                f"inconsistent final state: man {m} believes his partner "
-                f"is {his}, women's side says {matching.partner_of_man(m)}"
-            )
-    return CongestASMResult(matching=matching, stats=stats, schedule=sched)
+        node = man_node(m)
+        if node in crashed or node not in sim.results:
+            unresolved_men.append(m)
+            continue
+        his = sim.results[node]
+        if his is not None and m not in confirmed:
+            unresolved_men.append(m)
+    injector = sim.faults
+    assert injector is not None
+    return CongestASMResult(
+        matching=Matching(pairs),
+        stats=stats,
+        schedule=sched,
+        unresolved_men=tuple(sorted(unresolved_men)),
+        unresolved_women=tuple(sorted(unresolved_women)),
+        crashed_nodes=tuple(sorted(repr(v) for v in crashed)),
+        retries=tally.count,
+        fault_stats=injector.stats,
+        fault_trace=tuple(injector.records),
+    )
+
+
+#: Sentinel distinguishing "no result" from a result of ``None``.
+_NO_RESULT = object()

@@ -23,6 +23,7 @@ from repro.congest.message import Message
 from repro.congest.simulator import Simulator
 from repro.core.matching import Matching
 from repro.core.preferences import PreferenceProfile
+from repro.faults.plan import FaultPlan, RetryTally
 from repro.graphs import (
     NodeId,
     bipartite_graph_from_edges,
@@ -65,9 +66,18 @@ def _man_program(
 
 
 def _woman_program(
-    w: int, pref_rank: Dict[int, int], iterations: int
+    w: int,
+    pref_rank: Dict[int, int],
+    iterations: int,
+    tally: Optional[RetryTally] = None,
 ) -> Generator:
-    """Woman's side: keep the best suitor seen so far, reject the rest."""
+    """Woman's side: keep the best suitor seen so far, reject the rest.
+
+    Fault tolerance: a proposal from her current fiancé is evidence
+    that her ACCEPT was lost (engaged men never propose fault-free),
+    so she retransmits it; ``tally`` counts the retries.  Proposals
+    from worse men are already re-rejected by the normal flow.
+    """
     fiance: Optional[int] = None
     for _ in range(iterations):
         inbox = yield {}
@@ -85,6 +95,11 @@ def _woman_program(
                     outbox[man_node(fiance)] = Message("REJECT")
                 fiance = best
                 outbox[man_node(best)] = Message("ACCEPT")
+            elif best in suitors:
+                # Lost-ACCEPT retransmission; never fires fault-free.
+                outbox[man_node(best)] = Message("ACCEPT")
+                if tally is not None:
+                    tally.count += 1
             for m in suitors:
                 if m != best:
                     outbox[man_node(m)] = Message("REJECT")
@@ -98,12 +113,19 @@ def run_congest_gale_shapley(
     *,
     recorder=None,
     telemetry=None,
+    faults: Optional[FaultPlan] = None,
 ) -> Tuple[Matching, "Simulator"]:
     """Run distributed Gale–Shapley over the simulator.
 
     Returns the final matching and the simulator (whose ``stats`` carry
     rounds/messages/bits).  ``iterations`` defaults to one past the
     logical engine's quiescence point.
+
+    With ``faults``, delivery runs through the injector and the final
+    matching keeps only mutually confirmed engagements (a one-sided
+    view — e.g. a man whose fiancée moved on while his REJECT was in
+    flight — contributes no pair); the simulator's ``faults`` injector
+    and ``stats.outcome`` carry the degradation details.
     """
     if iterations is None:
         iterations = parallel_gale_shapley(prefs).iterations + 1
@@ -111,18 +133,31 @@ def run_congest_gale_shapley(
         prefs.iter_edges(), prefs.n_men, prefs.n_women
     )
     programs: Dict[NodeId, Generator] = {}
+    tally = RetryTally()
     for m in range(prefs.n_men):
         programs[man_node(m)] = _man_program(
             m, prefs.man_list(m), iterations
         )
     for w in range(prefs.n_women):
         rank = {m: prefs.rank_of_man(w, m) for m in prefs.woman_list(w)}
-        programs[woman_node(w)] = _woman_program(w, rank, iterations)
-    sim = Simulator(graph, programs, recorder=recorder, telemetry=telemetry)
+        programs[woman_node(w)] = _woman_program(w, rank, iterations, tally)
+    sim = Simulator(
+        graph, programs, recorder=recorder, telemetry=telemetry, faults=faults
+    )
     sim.run()
+    if telemetry is not None and telemetry.enabled and tally.count > 0:
+        telemetry.metrics.inc("congest.retries", tally.count)
     pairs = []
     for w in range(prefs.n_women):
-        m = sim.results[woman_node(w)]
-        if m is not None:
-            pairs.append((m, w))
+        node = woman_node(w)
+        if node not in sim.results:
+            continue
+        m = sim.results[node]
+        if m is None:
+            continue
+        if faults is not None:
+            mnode = man_node(m)
+            if mnode in sim.crashed or sim.results.get(mnode) != w:
+                continue
+        pairs.append((m, w))
     return Matching(pairs), sim

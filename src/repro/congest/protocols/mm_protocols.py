@@ -17,6 +17,7 @@ from repro.congest.protocols.fragments import (
     port_order_fragment,
 )
 from repro.congest.simulator import SimulationStats, Simulator
+from repro.faults.plan import FaultPlan
 from repro.graphs import Graph, NodeId
 from repro.mm.result import MMResult
 
@@ -38,13 +39,24 @@ def _node_program(fragment):
 
 
 def _collect(
-    graph: Graph, sim: Simulator, stats: SimulationStats
+    graph: Graph,
+    sim: Simulator,
+    stats: SimulationStats,
+    tolerant: bool = False,
 ) -> MMResult:
-    """Assemble an MMResult from per-node partner outputs."""
+    """Assemble an MMResult from per-node partner outputs.
+
+    ``tolerant`` (set by fault-injected runs, where one-directional
+    message loss can leave a claim unreciprocated) keeps only mutual
+    partnerships instead of raising.
+    """
     partner: Dict[NodeId, NodeId] = {}
     for v, p in sim.results.items():
         if p is not None:
             partner[v] = p
+    if tolerant:
+        mutual = {v: p for v, p in partner.items() if partner.get(p) == v}
+        return MMResult(partner=mutual, rounds=stats.rounds)
     # Consistency: every claimed partnership must be mutual.
     for v, p in partner.items():
         if partner.get(p) != v:
@@ -55,7 +67,10 @@ def _collect(
 
 
 def run_congest_deterministic_mm(
-    graph: Graph, iterations: Optional[int] = None
+    graph: Graph,
+    iterations: Optional[int] = None,
+    *,
+    faults: Optional[FaultPlan] = None,
 ) -> MMResult:
     """Deterministic pointer matching as a real message-passing run.
 
@@ -71,15 +86,17 @@ def run_congest_deterministic_mm(
         )
         for v in graph.nodes()
     }
-    sim = Simulator(graph, programs)
+    sim = Simulator(graph, programs, faults=faults)
     stats = sim.run()
-    return _collect(graph, sim, stats)
+    return _collect(graph, sim, stats, tolerant=faults is not None)
 
 
 def run_congest_port_order_mm(
     graph: Graph,
     left_nodes,
     iterations: Optional[int] = None,
+    *,
+    faults: Optional[FaultPlan] = None,
 ) -> MMResult:
     """Bipartite port-order matching as a real message-passing run.
 
@@ -101,13 +118,17 @@ def run_congest_port_order_mm(
         )
         for v in graph.nodes()
     }
-    sim = Simulator(graph, programs)
+    sim = Simulator(graph, programs, faults=faults)
     stats = sim.run()
-    return _collect(graph, sim, stats)
+    return _collect(graph, sim, stats, tolerant=faults is not None)
 
 
 def run_congest_israeli_itai_mm(
-    graph: Graph, iterations: int, seed: int = 0
+    graph: Graph,
+    iterations: int,
+    seed: int = 0,
+    *,
+    faults: Optional[FaultPlan] = None,
 ) -> MMResult:
     """Israeli–Itai as a real message-passing run with local randomness.
 
@@ -124,6 +145,6 @@ def run_congest_israeli_itai_mm(
         )
         for v in graph.nodes()
     }
-    sim = Simulator(graph, programs)
+    sim = Simulator(graph, programs, faults=faults)
     stats = sim.run()
-    return _collect(graph, sim, stats)
+    return _collect(graph, sim, stats, tolerant=faults is not None)

@@ -27,7 +27,13 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, Mapping, Optional
 
 from repro.congest.message import Message
-from repro.errors import ProtocolViolationError, SimulationError
+from repro.errors import (
+    InvalidParameterError,
+    ProtocolViolationError,
+    SimulationError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.graphs import Graph, NodeId
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 
@@ -39,13 +45,25 @@ NodeProgram = Generator[Dict[NodeId, Message], Dict[NodeId, Message], Any]
 
 @dataclass
 class SimulationStats:
-    """Aggregate statistics of one simulation run."""
+    """Aggregate statistics of one simulation run.
+
+    ``messages``/``total_bits``/``messages_per_round`` count messages
+    at *send* time (after validation), so fault injection — which may
+    drop or defer a sent message — never changes them for the same
+    protocol evolution.  ``outcome`` distinguishes how the run ended:
+    ``"converged"`` (every program returned), ``"degraded"`` (every
+    surviving program returned but nodes crashed), or ``"timeout"``
+    (the ``max_rounds`` cap elapsed with programs still running).
+    """
 
     rounds: int = 0
     messages: int = 0
     total_bits: int = 0
     max_message_bits: int = 0
     messages_per_round: list = field(default_factory=list)
+    outcome: str = "running"
+    crashed_nodes: int = 0
+    unfinished_nodes: int = 0
 
 
 class Simulator:
@@ -77,6 +95,12 @@ class Simulator:
         event log receives one ``congest_round`` record per round plus
         a ``message_batch`` record (per-kind counts) for every round
         that carried messages.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`; when given, a
+        :class:`~repro.faults.injector.FaultInjector` mediates every
+        delivery (drop/duplicate/delay/partition) and applies node
+        crashes at round starts.  A plan with zero rates and no
+        crashes leaves the run bit-identical to ``faults=None``.
     """
 
     def __init__(
@@ -87,6 +111,7 @@ class Simulator:
         bit_cap_factor: int = 8,
         recorder: Optional[Any] = None,
         telemetry: Optional[Telemetry] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.graph = graph
         for v in programs:
@@ -125,11 +150,19 @@ class Simulator:
         # Optional telemetry bundle (see repro.obs): per-round timings
         # and message counts flow into its registry and event log.
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # Optional fault injection (see repro.faults): crashes close
+        # programs, and every delivery is routed through the injector.
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(faults, telemetry=self.telemetry)
+            if faults is not None
+            else None
+        )
+        self.crashed: set = set()
 
     @property
     def finished(self) -> bool:
-        """Whether every program has returned."""
-        return len(self.results) == len(self.programs)
+        """Whether every surviving program has returned."""
+        return len(self.results) + len(self.crashed) == len(self.programs)
 
     def _advance(self, v: NodeId) -> Optional[Dict[NodeId, Message]]:
         """Advance one program a single round; capture its return value."""
@@ -147,9 +180,49 @@ class Simulator:
             self._inboxes[v] = {}
             return None
 
+    def _deposit(
+        self,
+        executing_round: int,
+        sender: NodeId,
+        recipient: NodeId,
+        msg: Message,
+    ) -> None:
+        """Place one message in the recipient's inbox (+ recorder)."""
+        inboxes = self._inboxes
+        if recipient in inboxes:
+            box = inboxes[recipient]
+            if not box:
+                self._touched_inboxes.append(recipient)
+            box[sender] = msg
+        if self.recorder is not None:
+            self.recorder.on_message(executing_round, sender, recipient, msg)
+
     def step(self) -> bool:
         """Execute one synchronous round; returns False once all done."""
-        live = [v for v in self.programs if v not in self.results]
+        injector = self.faults
+        # 1-based index of the round being executed, used so runtime
+        # diagnostics can name where the protocol went wrong and point
+        # at the static rule that would have caught it pre-run.
+        executing_round = self.stats.rounds + 1
+        if injector is not None:
+            # Permanent crashes take effect at the start of the round:
+            # the node's program is closed before it can send.
+            for v in injector.begin_round(executing_round):
+                if (
+                    v in self.programs
+                    and v not in self.results
+                    and v not in self.crashed
+                ):
+                    self.programs[v].close()
+                    self.crashed.add(v)
+                    # Detach the inbox so nothing queued there leaks
+                    # into a captured result.
+                    self._inboxes[v] = {}
+        live = [
+            v
+            for v in self.programs
+            if v not in self.results and v not in self.crashed
+        ]
         if not live:
             return False
         telemetry = self.telemetry
@@ -171,10 +244,15 @@ class Simulator:
             inboxes[v].clear()
         self._touched_inboxes.clear()
         round_messages = 0
-        # 1-based index of the round being executed, used so runtime
-        # diagnostics can name where the protocol went wrong and point
-        # at the static rule that would have caught it pre-run.
-        executing_round = self.stats.rounds + 1
+        if injector is not None:
+            # Deferred (delayed/duplicated) messages land first, so a
+            # fresh message from the same sender overwrites a stale
+            # copy — deterministic last-write-wins, like the lockstep
+            # delivery below.  Already counted at send time.
+            for sender, recipient, msg in injector.due(
+                executing_round, self.crashed
+            ):
+                self._deposit(executing_round, sender, recipient, msg)
         for sender, outbox in outboxes.items():
             for recipient, msg in outbox.items():
                 if not isinstance(msg, Message):
@@ -201,15 +279,10 @@ class Simulator:
                         f"bounds payloads against MESSAGE_SCHEMAS; see "
                         f"docs/static_analysis.md]"
                     )
-                if recipient in inboxes:
-                    box = inboxes[recipient]
-                    if not box:
-                        self._touched_inboxes.append(recipient)
-                    box[sender] = msg
-                if self.recorder is not None:
-                    self.recorder.on_message(
-                        executing_round, sender, recipient, msg
-                    )
+                if injector is None or injector.filter_send(
+                    executing_round, sender, recipient, msg, self.crashed
+                ):
+                    self._deposit(executing_round, sender, recipient, msg)
                 round_messages += 1
                 self.stats.messages += 1
                 self.stats.total_bits += bits
@@ -244,22 +317,58 @@ class Simulator:
                 )
         return not self.finished
 
-    def run(self, max_rounds: Optional[int] = None) -> SimulationStats:
-        """Run rounds until every program returns.
+    def run(
+        self,
+        max_rounds: Optional[int] = None,
+        *,
+        on_timeout: str = "raise",
+    ) -> SimulationStats:
+        """Run rounds until every surviving program returns.
+
+        The returned stats carry a distinct ``outcome``: hitting the
+        ``max_rounds`` cap records ``"timeout"`` (previously
+        indistinguishable from convergence in the stats), a clean
+        finish records ``"converged"``, and a finish with crashed
+        nodes records ``"degraded"``.
+
+        Parameters
+        ----------
+        max_rounds:
+            Round cap; ``None`` runs to completion.
+        on_timeout:
+            ``"raise"`` (default) raises :class:`SimulationError` when
+            the cap elapses with programs still running; ``"stop"``
+            returns the stats instead (``outcome == "timeout"``), for
+            drivers that degrade gracefully under fault injection.
 
         Raises
         ------
         SimulationError
-            If ``max_rounds`` elapses with programs still running.
+            If ``max_rounds`` elapses with programs still running and
+            ``on_timeout == "raise"``.
         """
+        if on_timeout not in ("raise", "stop"):
+            raise InvalidParameterError(
+                f"on_timeout must be 'raise' or 'stop', got {on_timeout!r}"
+            )
         while self.step():
             if max_rounds is not None and self.stats.rounds >= max_rounds:
                 unfinished = [
-                    v for v in self.programs if v not in self.results
+                    v
+                    for v in self.programs
+                    if v not in self.results and v not in self.crashed
                 ]
                 if unfinished:
-                    raise SimulationError(
-                        f"{len(unfinished)} program(s) still running after "
-                        f"{max_rounds} rounds, e.g. {unfinished[0]!r}"
-                    )
+                    self.stats.outcome = "timeout"
+                    self.stats.unfinished_nodes = len(unfinished)
+                    self.stats.crashed_nodes = len(self.crashed)
+                    if on_timeout == "raise":
+                        raise SimulationError(
+                            f"{len(unfinished)} program(s) still running "
+                            f"after {max_rounds} rounds, e.g. "
+                            f"{unfinished[0]!r}"
+                        )
+                    return self.stats
+        self.stats.outcome = "degraded" if self.crashed else "converged"
+        self.stats.crashed_nodes = len(self.crashed)
         return self.stats

@@ -1,0 +1,37 @@
+"""Deterministic fault injection for the CONGEST simulator.
+
+* :mod:`repro.faults.plan` — seeded fault schedules
+  (:class:`FaultPlan`, :class:`NodeCrash`, :class:`PartitionWindow`)
+  whose every decision derives from SHA-256 hashing, never RNG state.
+* :mod:`repro.faults.injector` — the runtime delivery filter
+  (:class:`FaultInjector`) the simulator consults, plus
+  :class:`FaultStats` counters and the deterministic fault trace.
+* :mod:`repro.faults.harness` — profile-level plan builders and the
+  :class:`~repro.parallel.spec.TrialSpec` runner used by the
+  ``faults`` experiment and the worker-identity tests.  Imported
+  explicitly (``from repro.faults.harness import ...``) — not
+  re-exported here — because it depends on the protocol drivers,
+  which themselves import this package.
+
+See ``docs/robustness.md`` for the fault model and the determinism
+contract.
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.plan import (
+    FaultPlan,
+    NodeCrash,
+    PartitionWindow,
+    RetryTally,
+    sample_nodes,
+)
+
+__all__ = [
+    "FaultPlan",
+    "NodeCrash",
+    "PartitionWindow",
+    "RetryTally",
+    "sample_nodes",
+    "FaultInjector",
+    "FaultStats",
+]

@@ -14,6 +14,10 @@ Plain JSON on disk so experiments are reproducible and shareable:
 * :func:`save_events` / :func:`load_events` — an
   :class:`~repro.obs.events.EventLog` as JSONL: a manifest-bearing
   header line followed by one flat JSON record per event.
+* :func:`save_fault_trace` / :func:`load_fault_trace` — a
+  deterministic fault-injection trace
+  (:attr:`repro.faults.injector.FaultInjector.records`); timestamp-free
+  by construction, so equal plans yield byte-identical files.
 
 The envelope is versioned so future format changes stay readable.
 """
@@ -46,6 +50,8 @@ __all__ = [
     "load_events",
     "save_bench",
     "load_bench",
+    "save_fault_trace",
+    "load_fault_trace",
 ]
 
 FORMAT_VERSION = 1
@@ -265,6 +271,45 @@ def load_events(
                 f"{path}: line {i} is not valid JSON ({exc})"
             ) from exc
     return header.get("manifest", {}), records
+
+
+def save_fault_trace(
+    records: Iterable[Dict[str, Any]],
+    path: PathLike,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write a fault-injection trace as versioned JSON.
+
+    ``records`` is a :attr:`repro.faults.injector.FaultInjector.records`
+    list (or equivalent dicts).  The document carries no timestamps, so
+    two runs with the same plan produce byte-identical files — the
+    property the CI fault-smoke job diffs against a committed golden
+    trace.
+    """
+    body_records = [dict(r) for r in records]
+    _write(
+        path,
+        "fault_trace",
+        {
+            "num_records": len(body_records),
+            "metadata": metadata or {},
+            "trace": body_records,
+        },
+    )
+
+
+def load_fault_trace(
+    path: PathLike,
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a trace written by :func:`save_fault_trace`.
+
+    Returns ``(metadata, records)``.
+    """
+    document = _read(path, "fault_trace")
+    trace = document.get("trace")
+    if not isinstance(trace, list):
+        raise FileFormatError(f"{path}: missing fault trace body")
+    return document.get("metadata", {}), trace
 
 
 def save_bench(

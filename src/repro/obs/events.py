@@ -17,6 +17,8 @@ kind                  emitted by / meaning
 ``message_batch``     per-round message counts grouped by kind
 ``trial_chunk``       :class:`repro.parallel.pool.TrialPool` — one
                       executed chunk of a sharded trial sweep
+``fault``             :class:`repro.faults.injector.FaultInjector` —
+                      one injected fault (drop/delay/duplicate/crash)
 ====================  ===============================================
 
 Every record is a flat JSON object (see :meth:`Event.to_dict`), so a
@@ -55,6 +57,7 @@ EVENT_KINDS: FrozenSet[str] = frozenset(
         "congest_round",
         "message_batch",
         "trial_chunk",
+        "fault",
     }
 )
 

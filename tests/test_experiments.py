@@ -29,6 +29,7 @@ SMALL = {
     "a3": dict(n_values=(5,)),
     "a4": dict(n=20, trials=1),
     "a5": dict(n_values=(12, 24), trials=1),
+    "faults": dict(n_values=(6,)),
 }
 
 

@@ -146,6 +146,7 @@ class TestEventLog:
             "congest_round",
             "message_batch",
             "trial_chunk",
+            "fault",
         }
 
 
