@@ -43,6 +43,14 @@ from repro.obs.manifest import RunManifest
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import MetricsObserver
 from repro.obs.telemetry import Telemetry
+from repro.trace import (
+    CausalTrace,
+    CausalTracer,
+    PhaseProfiler,
+    SLOMonitor,
+    StabilitySLO,
+    derive_trace_id,
+)
 from repro.baselines import (
     better_response_dynamics,
     gale_shapley,
@@ -106,6 +114,13 @@ __all__ = [
     "MetricsRegistry",
     "RunManifest",
     "Telemetry",
+    # trace & profiling (repro.trace)
+    "CausalTrace",
+    "CausalTracer",
+    "PhaseProfiler",
+    "SLOMonitor",
+    "StabilitySLO",
+    "derive_trace_id",
     # baselines
     "better_response_dynamics",
     "gale_shapley",

@@ -15,6 +15,14 @@ Subcommands
 ``lint``
     Statically analyze the source tree for CONGEST-model compliance,
     determinism, and telemetry hygiene (see ``docs/static_analysis.md``).
+``trace``
+    Run a message-level protocol with causal span tracing enabled and
+    export the trace (``--trace-out``) and the wall-clock profile
+    (``--profile-out``, Chrome trace-event JSON); can explain how a
+    blocking pair came to be (``--explain M W``).
+``profile``
+    Run an ASM variant with the deterministic phase profiler (and an
+    optional ε-stability SLO) and print the op-count summary.
 
 Telemetry
 ---------
@@ -43,7 +51,7 @@ from repro.core.rand_asm import rand_asm
 from repro.obs.manifest import RunManifest
 from repro.obs.telemetry import Telemetry
 from repro.parallel import TrialPool
-from repro.workloads.generators import GENERATORS
+from repro.workloads.generators import GENERATORS, default_instance
 
 __all__ = ["main", "build_parser"]
 
@@ -160,6 +168,43 @@ def _export_telemetry(
         )
 
 
+def _add_fault_flags(
+    parser: argparse.ArgumentParser, *, trace_out: bool = False
+) -> None:
+    """The shared fault-injection flag group (``congest`` / ``trace``)."""
+    fault_g = parser.add_argument_group(
+        "fault injection",
+        "seeded, deterministic faults applied to message delivery "
+        "(see docs/robustness.md); any of these flags activates the "
+        "injector",
+    )
+    fault_g.add_argument("--drop-rate", type=_rate_arg, default=0.0,
+                         metavar="P", help="per-message drop probability")
+    fault_g.add_argument("--duplicate-rate", type=_rate_arg, default=0.0,
+                         metavar="P",
+                         help="per-message duplication probability")
+    fault_g.add_argument("--delay-rate", type=_rate_arg, default=0.0,
+                         metavar="P", help="per-message delay probability")
+    fault_g.add_argument("--max-delay", type=int, default=2, metavar="R",
+                         help="maximum delay in rounds (default 2)")
+    fault_g.add_argument("--crash", type=int, default=0, metavar="COUNT",
+                         help="crash COUNT deterministically sampled nodes")
+    fault_g.add_argument("--crash-round", type=int, default=3, metavar="R",
+                         help="round the crashes take effect (default 3)")
+    fault_g.add_argument("--crash-restart", type=int, default=None,
+                         metavar="R",
+                         help="restart crashed nodes after R rounds "
+                         "(default: crashes are permanent)")
+    fault_g.add_argument("--fault-seed", type=int, default=0,
+                         help="root seed for all fault decisions")
+    if trace_out:
+        fault_g.add_argument("--fault-trace-out", default=None,
+                             metavar="FILE",
+                             help="write the deterministic fault trace as "
+                             "JSON (activates the injector even with all "
+                             "rates 0)")
+
+
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics-out",
@@ -176,24 +221,14 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def _make_workload(name: str, n: int, seed: int):
-    """Instantiate a workload by registry name with sensible defaults."""
-    if name == "gnp":
-        return GENERATORS[name](n, 0.25, seed)
-    if name == "bounded":
-        return GENERATORS[name](n, 8, seed)
-    if name == "regular":
-        return GENERATORS[name](n, 8, seed)
-    if name == "almost_regular":
-        return GENERATORS[name](n, max(1, n // 8), max(1, n // 4), seed)
-    if name == "master_list":
-        return GENERATORS[name](n, 0.1, seed)
-    if name == "zipf":
-        return GENERATORS[name](n, 1.0, seed)
-    if name == "clustered":
-        return GENERATORS[name](n, seed=seed)
-    if name == "adversarial_gs":
-        return GENERATORS[name](n)
-    return GENERATORS[name](n, seed)
+    """Instantiate a workload by registry name with sensible defaults.
+
+    The per-generator defaults live in
+    :func:`repro.workloads.generators.default_instance` so that
+    in-process trial runners (``repro.trace.harness``) build exactly
+    the same instances as the CLI.
+    """
+    return default_instance(name, n, seed)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -457,6 +492,9 @@ def _cmd_congest(args: argparse.Namespace) -> int:
             "faults": plan is not None,
         },
     )
+    if telemetry is not None and telemetry.manifest is not None \
+            and plan is not None:
+        telemetry.manifest.record_fault_plan(plan)
     t0 = time.time()
     fault_trace: List[Dict[str, Any]] = []
     fault_row: Dict[str, Any] = {}
@@ -557,6 +595,251 @@ def _cmd_congest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run traced message-level trials; export trace + wall profile."""
+    import json
+
+    from repro.parallel.spec import TrialSpec, derive_seed
+    from repro.trace import (
+        CausalTrace,
+        TRACE_TRIAL_RUNNER,
+        chrome_trace_document,
+        merge_trace_trials,
+    )
+
+    if args.explain is not None and args.trials != 1:
+        print(
+            "error: --explain requires --trials 1 (trace ids are "
+            "per-trial)",
+            file=sys.stderr,
+        )
+        return 2
+    protocol = "gs" if args.protocol == "gale-shapley" else "asm"
+    extra: Dict[str, Any] = {
+        "protocol": protocol,
+        "drop_rate": args.drop_rate,
+        "duplicate_rate": args.duplicate_rate,
+        "delay_rate": args.delay_rate,
+        "max_delay": args.max_delay,
+        "crash_nodes": args.crash,
+        "crash_round": args.crash_round,
+        "restart_after": args.crash_restart,
+        "fault_seed": args.fault_seed,
+    }
+    for name in ("k", "inner", "outer", "mm_iterations"):
+        value = getattr(args, name)
+        if value is not None:
+            extra[name] = value
+    specs = [
+        TrialSpec.make(
+            TRACE_TRIAL_RUNNER,
+            algorithm=f"congest-{args.protocol}",
+            workload=args.workload,
+            n=args.n,
+            eps=args.eps,
+            seed=derive_seed(args.seed, "trace", index),
+            trial=index,
+            **extra,
+        )
+        for index in range(args.trials)
+    ]
+    results = TrialPool(workers=args.workers).run(specs)
+    merged = merge_trace_trials(results)
+    trace = CausalTrace(merged["trace"])
+    dropped = trace.dropped()
+    open_spans = trace.unclosed_spans()
+
+    metadata = {
+        "protocol": args.protocol,
+        "workload": args.workload,
+        "n": args.n,
+        "eps": args.eps,
+        "seed": args.seed,
+        "trials": args.trials,
+        "fault_seed": args.fault_seed,
+        "drop_rate": args.drop_rate,
+        "duplicate_rate": args.duplicate_rate,
+        "delay_rate": args.delay_rate,
+        "crash": args.crash,
+    }
+    if args.trace_out:
+        from repro.io import save_trace
+
+        save_trace(merged["trace"], args.trace_out, metadata=metadata)
+        print(
+            f"wrote {len(merged['trace'])} trace records to "
+            f"{args.trace_out}",
+            file=sys.stderr,
+        )
+    if args.profile_out:
+        from repro.io import save_chrome_trace
+
+        document = chrome_trace_document(
+            merged["profile_records"], metadata=metadata
+        )
+        save_chrome_trace(document, args.profile_out)
+        print(
+            f"wrote {len(document['traceEvents'])} profile events to "
+            f"{args.profile_out}",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "trials": merged["trials"],
+                    "trace_records": len(merged["trace"]),
+                    "dropped_messages": len(dropped),
+                    "open_spans": open_spans,
+                    "profile_summary": merged["profile_summary"],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    if args.explain is not None:
+        man, woman = args.explain
+        print(json.dumps(trace.explain_blocking_pair(man, woman), indent=2))
+        return 0
+    rows = [
+        {
+            "trial": t["trial"],
+            "outcome": t["outcome"],
+            "rounds": t["rounds"],
+            "messages": t["messages"],
+            "instability": round(t["instability"], 4),
+            "unresolved": len(t["unresolved_men"])
+            + len(t["unresolved_women"]),
+        }
+        for t in merged["trials"]
+    ]
+    print(
+        format_table(
+            rows,
+            title=f"traced {args.protocol} on {args.workload} n={args.n}",
+        )
+    )
+    impact = trace.fault_impact()
+    print(
+        f"trace: {len(merged['trace'])} records, "
+        f"{len(dropped)} dropped messages, "
+        f"{len(open_spans)} open spans"
+    )
+    if impact["by_action"]:
+        parts = ", ".join(
+            f"{action}={count}"
+            for action, count in impact["by_action"].items()
+        )
+        print(f"faults: {parts}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one ASM variant under the phase profiler (+ optional SLO)."""
+    import json
+
+    from repro.trace import PhaseProfiler, SLOMonitor, StabilitySLO
+
+    prefs = _make_workload(args.workload, args.n, args.seed)
+    profiler = PhaseProfiler()
+    telemetry = Telemetry.tracing(profiler=profiler)
+    monitor: Optional[SLOMonitor] = None
+    if args.slo_eps is not None:
+        monitor = SLOMonitor(
+            prefs,
+            StabilitySLO(args.slo_eps, deadline_rounds=args.slo_deadline),
+        )
+    elif args.slo_deadline is not None:
+        print(
+            "error: --slo-deadline requires --slo-eps", file=sys.stderr
+        )
+        return 2
+    t0 = time.time()
+    if args.algorithm == "asm":
+        result = asm(prefs, args.eps, observer=monitor, telemetry=telemetry)
+    elif args.algorithm == "rand-asm":
+        result = rand_asm(
+            prefs, args.eps, seed=args.seed,
+            observer=monitor, telemetry=telemetry,
+        )
+    else:  # almost-regular-asm
+        result = almost_regular_asm(
+            prefs, args.eps, seed=args.seed,
+            observer=monitor, telemetry=telemetry,
+        )
+    wall = time.time() - t0
+    rep = stability_report(prefs, result.matching)
+    summary = profiler.deterministic_summary()
+
+    if args.profile_out:
+        from repro.io import save_chrome_trace
+
+        document = profiler.to_chrome_trace(
+            metadata={
+                "algorithm": args.algorithm,
+                "workload": args.workload,
+                "n": args.n,
+                "eps": args.eps,
+                "seed": args.seed,
+            }
+        )
+        save_chrome_trace(document, args.profile_out)
+        print(
+            f"wrote {len(document['traceEvents'])} profile events to "
+            f"{args.profile_out}",
+            file=sys.stderr,
+        )
+    if args.json:
+        payload: Dict[str, Any] = {
+            "algorithm": args.algorithm,
+            "matching_size": rep.matching_size,
+            "instability": rep.instability,
+            "rounds_active": result.rounds_active,
+            "profile_summary": summary,
+        }
+        if monitor is not None:
+            payload["slo"] = monitor.report()
+        print(json.dumps(payload, indent=2))
+        return 0 if monitor is None or monitor.satisfied else 1
+    rows = [
+        {
+            "phase": name,
+            "calls": entry["calls"],
+            "counts": ", ".join(
+                f"{key}={value}"
+                for key, value in entry["counts"].items()
+            )
+            or "-",
+        }
+        for name, entry in summary.items()
+    ]
+    print(
+        format_table(
+            rows,
+            title=f"profile {args.algorithm} on {args.workload} "
+            f"n={args.n}",
+        )
+    )
+    print(
+        f"matching_size={rep.matching_size} "
+        f"instability={rep.instability:.4f} "
+        f"rounds_active={result.rounds_active} wall={wall:.3f}s"
+    )
+    if monitor is not None:
+        report = monitor.report()
+        print(
+            f"SLO target_eps={report['target_eps']} "
+            f"deadline={report['deadline_rounds']}: "
+            f"final_eps={report['final_eps']:.4f} "
+            f"worst_eps={report['worst_eps']:.4f} "
+            f"violations={len(report['violations'])} "
+            f"-> {'PASS' if report['satisfied'] else 'FAIL'}"
+        )
+        if not report["satisfied"]:
+            return 1
+    return 0
+
+
 def _git_rev() -> str:
     """Short git revision of the working tree, or ``"dev"``."""
     import subprocess
@@ -585,9 +868,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
     rev = _git_rev()
-    report = run_bench(
-        scale=args.scale, repeats=args.repeats, workers=args.workers
+    telemetry = _telemetry_for(
+        args, "bench", {"scale": args.scale, "repeats": args.repeats}
     )
+    report = run_bench(
+        scale=args.scale,
+        repeats=args.repeats,
+        workers=args.workers,
+        telemetry=telemetry,
+    )
+    _export_telemetry(args, telemetry)
     out = args.out if args.out else f"BENCH_{rev}.json"
     save_bench(report, out, metadata={"rev": rev, "workers": args.workers})
 
@@ -797,36 +1087,85 @@ def build_parser() -> argparse.ArgumentParser:
                        help="outer-loop iterations override")
     con_p.add_argument("--mm-iterations", type=int, default=16,
                        help="matching-phase iteration budget")
-    fault_g = con_p.add_argument_group(
-        "fault injection",
-        "seeded, deterministic faults applied to message delivery "
-        "(see docs/robustness.md); any of these flags activates the "
-        "injector",
-    )
-    fault_g.add_argument("--drop-rate", type=_rate_arg, default=0.0,
-                         metavar="P", help="per-message drop probability")
-    fault_g.add_argument("--duplicate-rate", type=_rate_arg, default=0.0,
-                         metavar="P",
-                         help="per-message duplication probability")
-    fault_g.add_argument("--delay-rate", type=_rate_arg, default=0.0,
-                         metavar="P", help="per-message delay probability")
-    fault_g.add_argument("--max-delay", type=int, default=2, metavar="R",
-                         help="maximum delay in rounds (default 2)")
-    fault_g.add_argument("--crash", type=int, default=0, metavar="COUNT",
-                         help="crash COUNT deterministically sampled nodes")
-    fault_g.add_argument("--crash-round", type=int, default=3, metavar="R",
-                         help="round the crashes take effect (default 3)")
-    fault_g.add_argument("--crash-restart", type=int, default=None,
-                         metavar="R",
-                         help="restart crashed nodes after R rounds "
-                         "(default: crashes are permanent)")
-    fault_g.add_argument("--fault-seed", type=int, default=0,
-                         help="root seed for all fault decisions")
-    fault_g.add_argument("--fault-trace-out", default=None, metavar="FILE",
-                         help="write the deterministic fault trace as JSON "
-                         "(activates the injector even with all rates 0)")
+    _add_fault_flags(con_p, trace_out=True)
     _add_telemetry_flags(con_p)
     con_p.set_defaults(func=_cmd_congest)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run a traced protocol; export the causal trace and the "
+        "wall-clock profile",
+    )
+    trace_p.add_argument(
+        "--protocol", choices=["asm", "gale-shapley"], default="asm"
+    )
+    trace_p.add_argument("--workload", choices=sorted(GENERATORS),
+                         default="complete")
+    trace_p.add_argument("--n", type=int, default=8)
+    trace_p.add_argument("--eps", type=_eps_arg, default=0.5)
+    trace_p.add_argument("--seed", type=int, default=0,
+                         help="root seed; per-trial seeds are derived "
+                         "deterministically from it")
+    trace_p.add_argument("--k", type=int, default=None,
+                         help="quantile-count override (default: the "
+                         "eps-derived schedule; small k keeps traces "
+                         "small)")
+    trace_p.add_argument("--inner", type=int, default=None,
+                         help="inner-loop iterations override")
+    trace_p.add_argument("--outer", type=int, default=None,
+                         help="outer-loop iterations override")
+    trace_p.add_argument("--mm-iterations", type=int, default=None,
+                         help="matching-phase iteration budget")
+    trace_p.add_argument("--trials", type=int, default=1,
+                         help="independent traced trials (merged in "
+                         "spec order; default 1)")
+    trace_p.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="write the causal trace as JSON "
+                         "(byte-identical for any --workers)")
+    trace_p.add_argument("--profile-out", default=None, metavar="FILE",
+                         help="write the wall-clock profile as Chrome "
+                         "trace-event JSON")
+    trace_p.add_argument("--explain", nargs=2, type=int, default=None,
+                         metavar=("M", "W"),
+                         help="print the causal explanation for pair "
+                         "(man M, woman W); requires --trials 1")
+    trace_p.add_argument("--json", action="store_true",
+                         help="emit a JSON summary (no wall-clock "
+                         "fields; deterministic across --workers)")
+    _add_fault_flags(trace_p)
+    _add_workers_flag(trace_p)
+    trace_p.set_defaults(func=_cmd_trace)
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="run an ASM variant under the deterministic phase "
+        "profiler (optionally against an eps-stability SLO)",
+    )
+    prof_p.add_argument(
+        "--algorithm",
+        choices=["asm", "rand-asm", "almost-regular-asm"],
+        default="asm",
+    )
+    prof_p.add_argument("--workload", choices=sorted(GENERATORS),
+                        default="complete")
+    prof_p.add_argument("--n", type=int, default=64)
+    prof_p.add_argument("--eps", type=_eps_arg, default=0.2)
+    prof_p.add_argument("--seed", type=int, default=0)
+    prof_p.add_argument("--slo-eps", type=_rate_arg, default=None,
+                        metavar="EPS",
+                        help="declare an eps-stability SLO target; "
+                        "exit 1 if it is not met")
+    prof_p.add_argument("--slo-deadline", type=int, default=None,
+                        metavar="ROUNDS",
+                        help="ProposalRound deadline after which the "
+                        "SLO must hold (default: final matching only)")
+    prof_p.add_argument("--profile-out", default=None, metavar="FILE",
+                        help="write the wall-clock profile as Chrome "
+                        "trace-event JSON")
+    prof_p.add_argument("--json", action="store_true",
+                        help="emit the profile summary (and SLO "
+                        "report) as JSON")
+    prof_p.set_defaults(func=_cmd_profile)
 
     bench_p = sub.add_parser(
         "bench",
@@ -870,6 +1209,7 @@ def build_parser() -> argparse.ArgumentParser:
         "this many seconds (noise floor)",
     )
     _add_workers_flag(bench_p)
+    _add_telemetry_flags(bench_p)
     bench_p.set_defaults(func=_cmd_bench)
 
     lint_p = sub.add_parser(

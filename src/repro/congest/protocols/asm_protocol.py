@@ -474,13 +474,35 @@ def _run_with_schedule(
     sim = Simulator(
         graph, programs, recorder=recorder, telemetry=telemetry, faults=faults
     )
-    if faults is not None:
-        # The schedule is finite, so the run always terminates; the
-        # bound is a backstop, and "stop" keeps degraded runs
-        # reporting instead of raising.
-        stats = sim.run(schedule_round_bound(sched), on_timeout="stop")
-    else:
-        stats = sim.run()
+    tracer = telemetry.tracer if telemetry is not None else None
+    span_id = (
+        tracer.open_span(
+            "protocol.asm",
+            k=sched.k,
+            outer=sched.outer_iterations,
+            inner=sched.inner_iterations,
+            mm_kind=sched.mm_kind,
+            faulty=faults is not None,
+        )
+        if tracer is not None
+        else None
+    )
+    try:
+        if faults is not None:
+            # The schedule is finite, so the run always terminates; the
+            # bound is a backstop, and "stop" keeps degraded runs
+            # reporting instead of raising.
+            stats = sim.run(schedule_round_bound(sched), on_timeout="stop")
+        else:
+            stats = sim.run()
+    finally:
+        if span_id is not None:
+            tracer.close_span(
+                span_id,
+                outcome=sim.stats.outcome,
+                rounds=sim.stats.rounds,
+                retries=tally.count,
+            )
     if telemetry is not None and telemetry.enabled and tally.count > 0:
         telemetry.metrics.inc("congest.retries", tally.count)
     if faults is None:

@@ -144,7 +144,26 @@ def run_congest_gale_shapley(
     sim = Simulator(
         graph, programs, recorder=recorder, telemetry=telemetry, faults=faults
     )
-    sim.run()
+    tracer = telemetry.tracer if telemetry is not None else None
+    span_id = (
+        tracer.open_span(
+            "protocol.gale_shapley",
+            iterations=iterations,
+            faulty=faults is not None,
+        )
+        if tracer is not None
+        else None
+    )
+    try:
+        sim.run()
+    finally:
+        if span_id is not None:
+            tracer.close_span(
+                span_id,
+                outcome=sim.stats.outcome,
+                rounds=sim.stats.rounds,
+                retries=tally.count,
+            )
     if telemetry is not None and telemetry.enabled and tally.count > 0:
         telemetry.metrics.inc("congest.retries", tally.count)
     pairs = []

@@ -38,6 +38,23 @@ def _node_program(fragment):
     return program()
 
 
+def _run_traced(sim: Simulator, name: str, **attrs) -> SimulationStats:
+    """Run ``sim`` inside a protocol span when a tracer is attached."""
+    tracer = sim.telemetry.tracer
+    span_id = (
+        tracer.open_span(name, **attrs) if tracer is not None else None
+    )
+    try:
+        return sim.run()
+    finally:
+        if span_id is not None:
+            tracer.close_span(
+                span_id,
+                outcome=sim.stats.outcome,
+                rounds=sim.stats.rounds,
+            )
+
+
 def _collect(
     graph: Graph,
     sim: Simulator,
@@ -70,6 +87,7 @@ def run_congest_deterministic_mm(
     graph: Graph,
     iterations: Optional[int] = None,
     *,
+    telemetry=None,
     faults: Optional[FaultPlan] = None,
 ) -> MMResult:
     """Deterministic pointer matching as a real message-passing run.
@@ -86,8 +104,11 @@ def run_congest_deterministic_mm(
         )
         for v in graph.nodes()
     }
-    sim = Simulator(graph, programs, faults=faults)
-    stats = sim.run()
+    sim = Simulator(graph, programs, telemetry=telemetry, faults=faults)
+    stats = _run_traced(
+        sim, "protocol.pointer_mm", iterations=iterations,
+        faulty=faults is not None,
+    )
     return _collect(graph, sim, stats, tolerant=faults is not None)
 
 
@@ -96,6 +117,7 @@ def run_congest_port_order_mm(
     left_nodes,
     iterations: Optional[int] = None,
     *,
+    telemetry=None,
     faults: Optional[FaultPlan] = None,
 ) -> MMResult:
     """Bipartite port-order matching as a real message-passing run.
@@ -118,8 +140,11 @@ def run_congest_port_order_mm(
         )
         for v in graph.nodes()
     }
-    sim = Simulator(graph, programs, faults=faults)
-    stats = sim.run()
+    sim = Simulator(graph, programs, telemetry=telemetry, faults=faults)
+    stats = _run_traced(
+        sim, "protocol.port_order_mm", iterations=iterations,
+        faulty=faults is not None,
+    )
     return _collect(graph, sim, stats, tolerant=faults is not None)
 
 
@@ -128,6 +153,7 @@ def run_congest_israeli_itai_mm(
     iterations: int,
     seed: int = 0,
     *,
+    telemetry=None,
     faults: Optional[FaultPlan] = None,
 ) -> MMResult:
     """Israeli–Itai as a real message-passing run with local randomness.
@@ -145,6 +171,9 @@ def run_congest_israeli_itai_mm(
         )
         for v in graph.nodes()
     }
-    sim = Simulator(graph, programs, faults=faults)
-    stats = sim.run()
+    sim = Simulator(graph, programs, telemetry=telemetry, faults=faults)
+    stats = _run_traced(
+        sim, "protocol.israeli_itai_mm", iterations=iterations,
+        faulty=faults is not None,
+    )
     return _collect(graph, sim, stats, tolerant=faults is not None)

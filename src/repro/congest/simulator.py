@@ -94,7 +94,12 @@ class Simulator:
         histogram), message/bit totals accumulate as counters, and the
         event log receives one ``congest_round`` record per round plus
         a ``message_batch`` record (per-kind counts) for every round
-        that carried messages.
+        that carried messages.  A bundle carrying a
+        :class:`~repro.trace.span.CausalTracer` gets every validated
+        send recorded with a causal trace id (fault fates included),
+        and one carrying a :class:`~repro.trace.profiler.PhaseProfiler`
+        gets a ``congest.round`` wall/ops record per round; both hooks
+        are skipped entirely when absent.
     faults:
         Optional :class:`~repro.faults.plan.FaultPlan`; when given, a
         :class:`~repro.faults.injector.FaultInjector` mediates every
@@ -200,6 +205,9 @@ class Simulator:
     def step(self) -> bool:
         """Execute one synchronous round; returns False once all done."""
         injector = self.faults
+        telemetry = self.telemetry
+        tracer = telemetry.tracer
+        profiler = telemetry.profiler
         # 1-based index of the round being executed, used so runtime
         # diagnostics can name where the protocol went wrong and point
         # at the static rule that would have caught it pre-run.
@@ -207,6 +215,7 @@ class Simulator:
         if injector is not None:
             # Permanent crashes take effect at the start of the round:
             # the node's program is closed before it can send.
+            fault_mark = len(injector.records)
             for v in injector.begin_round(executing_round):
                 if (
                     v in self.programs
@@ -218,6 +227,9 @@ class Simulator:
                     # Detach the inbox so nothing queued there leaks
                     # into a captured result.
                     self._inboxes[v] = {}
+            if tracer is not None:
+                for record in injector.records[fault_mark:]:
+                    tracer.on_node_fault(record)
         live = [
             v
             for v in self.programs
@@ -225,9 +237,9 @@ class Simulator:
         ]
         if not live:
             return False
-        telemetry = self.telemetry
         observing = telemetry.enabled
-        t0 = time.perf_counter() if observing else 0.0
+        profiling = profiler is not None
+        t0 = time.perf_counter() if (observing or profiling) else 0.0
         round_bits = 0
         kind_counts: Dict[str, int] = {}
         outboxes: Dict[NodeId, Dict[NodeId, Message]] = {}
@@ -249,12 +261,34 @@ class Simulator:
             # fresh message from the same sender overwrites a stale
             # copy — deterministic last-write-wins, like the lockstep
             # delivery below.  Already counted at send time.
+            fault_mark = len(injector.records)
             for sender, recipient, msg in injector.due(
                 executing_round, self.crashed
             ):
                 self._deposit(executing_round, sender, recipient, msg)
+                if tracer is not None:
+                    tracer.on_deferred_delivery(
+                        executing_round, repr(sender), repr(recipient),
+                        msg.kind,
+                    )
+            if tracer is not None:
+                # due() recorded a drop_late for every deferred message
+                # it swallowed; retire their trace ids in the same order.
+                for record in injector.records[fault_mark:]:
+                    if record["action"] == "drop_late":
+                        tracer.on_deferred_drop(
+                            record["round"], record["from"], record["to"],
+                            record["message"],
+                        )
+        # Deliver each outbox in node-registration order, not dict
+        # insertion order: programs that broadcast from a set (e.g. the
+        # pointer-MM MM_TAKEN fan-out) would otherwise send in an order
+        # that varies with hash randomization, which breaks the
+        # byte-stable trace guarantee across worker processes.
+        node_order = self._order
         for sender, outbox in outboxes.items():
-            for recipient, msg in outbox.items():
+            for recipient in sorted(outbox, key=node_order.__getitem__):
+                msg = outbox[recipient]
                 if not isinstance(msg, Message):
                     raise ProtocolViolationError(
                         f"round {executing_round}: node {sender!r} sent a "
@@ -279,21 +313,53 @@ class Simulator:
                         f"bounds payloads against MESSAGE_SCHEMAS; see "
                         f"docs/static_analysis.md]"
                     )
-                if injector is None or injector.filter_send(
-                    executing_round, sender, recipient, msg, self.crashed
-                ):
+                tid = (
+                    tracer.on_send(
+                        executing_round, sender, recipient, msg.kind
+                    )
+                    if tracer is not None
+                    else None
+                )
+                if injector is None:
+                    delivered = True
+                elif tid is None:
+                    delivered = injector.filter_send(
+                        executing_round, sender, recipient, msg, self.crashed
+                    )
+                else:
+                    # Slice the injector trace around the decision so
+                    # the faults that touched this message annotate its
+                    # span.
+                    fault_mark = len(injector.records)
+                    delivered = injector.filter_send(
+                        executing_round, sender, recipient, msg, self.crashed
+                    )
+                    for record in injector.records[fault_mark:]:
+                        tracer.on_fault(tid, record)
+                if delivered:
                     self._deposit(executing_round, sender, recipient, msg)
+                    if tid is not None:
+                        tracer.on_delivered(recipient, tid)
                 round_messages += 1
                 self.stats.messages += 1
                 self.stats.total_bits += bits
                 self.stats.max_message_bits = max(
                     self.stats.max_message_bits, bits
                 )
-                if observing:
+                if observing or profiling:
                     round_bits += bits
                     kind_counts[msg.kind] = kind_counts.get(msg.kind, 0) + 1
         self.stats.rounds += 1
         self.stats.messages_per_round.append(round_messages)
+        if tracer is not None:
+            tracer.end_round(executing_round)
+        if profiling:
+            profiler.record(
+                "congest.round",
+                time.perf_counter() - t0,
+                messages=round_messages,
+                bits=round_bits,
+            )
         if observing:
             elapsed = time.perf_counter() - t0
             metrics = telemetry.metrics
@@ -351,24 +417,39 @@ class Simulator:
             raise InvalidParameterError(
                 f"on_timeout must be 'raise' or 'stop', got {on_timeout!r}"
             )
-        while self.step():
-            if max_rounds is not None and self.stats.rounds >= max_rounds:
-                unfinished = [
-                    v
-                    for v in self.programs
-                    if v not in self.results and v not in self.crashed
-                ]
-                if unfinished:
-                    self.stats.outcome = "timeout"
-                    self.stats.unfinished_nodes = len(unfinished)
-                    self.stats.crashed_nodes = len(self.crashed)
-                    if on_timeout == "raise":
-                        raise SimulationError(
-                            f"{len(unfinished)} program(s) still running "
-                            f"after {max_rounds} rounds, e.g. "
-                            f"{unfinished[0]!r}"
-                        )
-                    return self.stats
-        self.stats.outcome = "degraded" if self.crashed else "converged"
-        self.stats.crashed_nodes = len(self.crashed)
-        return self.stats
+        tracer = self.telemetry.tracer
+        sid = (
+            tracer.open_span("congest.run", max_rounds=max_rounds)
+            if tracer is not None
+            else None
+        )
+        try:
+            while self.step():
+                if max_rounds is not None and self.stats.rounds >= max_rounds:
+                    unfinished = [
+                        v
+                        for v in self.programs
+                        if v not in self.results and v not in self.crashed
+                    ]
+                    if unfinished:
+                        self.stats.outcome = "timeout"
+                        self.stats.unfinished_nodes = len(unfinished)
+                        self.stats.crashed_nodes = len(self.crashed)
+                        if on_timeout == "raise":
+                            raise SimulationError(
+                                f"{len(unfinished)} program(s) still "
+                                f"running after {max_rounds} rounds, e.g. "
+                                f"{unfinished[0]!r}"
+                            )
+                        return self.stats
+            self.stats.outcome = "degraded" if self.crashed else "converged"
+            self.stats.crashed_nodes = len(self.crashed)
+            return self.stats
+        finally:
+            if sid is not None:
+                tracer.close_span(
+                    sid,
+                    outcome=self.stats.outcome,
+                    rounds=self.stats.rounds,
+                    messages=self.stats.messages,
+                )

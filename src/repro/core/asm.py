@@ -471,6 +471,17 @@ class ASMEngine:
             max_player_work=max_work,
         )
         self._charge_executed(mm_result)
+        profiler = self.telemetry.profiler
+        if profiler is not None:
+            profiler.count(
+                "asm.proposal_round",
+                proposals=n_proposals,
+                accepts=n_accepts,
+                rejects=n_rejects,
+                g0_edges=g0.num_edges,
+                mm_rounds=mm_result.rounds,
+                matched=matched_in_m0,
+            )
         if self.observer is not None:
             self.observer.on_proposal_round_end(self, stats)
         return stats
@@ -777,6 +788,15 @@ class ASMEngine:
         with scheduled rounds still charged — once no proposals remain).
         Returns whether any communication happened.
         """
+        profiler = self.telemetry.profiler
+        if profiler is not None:
+            with profiler.phase(
+                "asm.quantile_match", participating=len(participating)
+            ):
+                return self._quantile_match_impl(participating)
+        return self._quantile_match_impl(participating)
+
+    def _quantile_match_impl(self, participating: Sequence[int]) -> bool:
         active_men: List[int] = []
         for m in participating:
             if self.removed[m] or self.man_partner[m] is not None:
@@ -853,6 +873,15 @@ class ASMEngine:
 
     def run_outer_iteration(self, i: int) -> OuterIterationStats:
         """One iteration of Algorithm 3's outer loop (threshold ``2^i``)."""
+        profiler = self.telemetry.profiler
+        if profiler is not None:
+            # The iteration index is implicit in call order; passing it
+            # as a count would pollute the deterministic counters.
+            with profiler.phase("asm.outer_iteration"):
+                return self._run_outer_iteration_impl(i)
+        return self._run_outer_iteration_impl(i)
+
+    def _run_outer_iteration_impl(self, i: int) -> OuterIterationStats:
         threshold = 2 ** i
         inner = self.inner_iteration_count()
         participating_start = self._participating(threshold)

@@ -18,6 +18,14 @@ Plain JSON on disk so experiments are reproducible and shareable:
   deterministic fault-injection trace
   (:attr:`repro.faults.injector.FaultInjector.records`); timestamp-free
   by construction, so equal plans yield byte-identical files.
+* :func:`save_trace` / :func:`load_trace` — a causal trace
+  (:meth:`repro.trace.span.CausalTracer.to_records`); timestamp-free
+  like the fault trace, so the trace-smoke CI job can diff it against
+  a committed golden file.
+* :func:`save_chrome_trace` — a profiler's wall-clock records in the
+  Chrome trace-event format, loadable directly in ``chrome://tracing``
+  or Perfetto (raw Chrome JSON, intentionally **not** wrapped in the
+  repro envelope).
 
 The envelope is versioned so future format changes stay readable.
 """
@@ -52,6 +60,9 @@ __all__ = [
     "load_bench",
     "save_fault_trace",
     "load_fault_trace",
+    "save_trace",
+    "load_trace",
+    "save_chrome_trace",
 ]
 
 FORMAT_VERSION = 1
@@ -310,6 +321,64 @@ def load_fault_trace(
     if not isinstance(trace, list):
         raise FileFormatError(f"{path}: missing fault trace body")
     return document.get("metadata", {}), trace
+
+
+def save_trace(
+    records: Iterable[Dict[str, Any]],
+    path: PathLike,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write a causal trace as versioned JSON.
+
+    ``records`` is a :meth:`repro.trace.span.CausalTracer.to_records`
+    list (or a merged multi-trial trace).  Trace ids are SHA-256 chains
+    over causal history and the records carry no timestamps, so equal
+    seeded runs produce byte-identical files for any worker count —
+    the property the trace-smoke CI job and the worker-identity tests
+    diff.
+    """
+    body_records = [dict(r) for r in records]
+    _write(
+        path,
+        "causal_trace",
+        {
+            "num_records": len(body_records),
+            "metadata": metadata or {},
+            "trace": body_records,
+        },
+    )
+
+
+def load_trace(
+    path: PathLike,
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a causal trace written by :func:`save_trace`.
+
+    Returns ``(metadata, records)``; feed the records to
+    :class:`repro.trace.analysis.CausalTrace` for chain queries.
+    """
+    document = _read(path, "causal_trace")
+    trace = document.get("trace")
+    if not isinstance(trace, list):
+        raise FileFormatError(f"{path}: missing causal trace body")
+    return document.get("metadata", {}), trace
+
+
+def save_chrome_trace(
+    document: Dict[str, Any],
+    path: PathLike,
+) -> None:
+    """Write a Chrome trace-event document produced by
+    :meth:`repro.trace.profiler.PhaseProfiler.to_chrome_trace`.
+
+    The file is raw Chrome JSON — no repro envelope — so it loads
+    directly in ``chrome://tracing`` and https://ui.perfetto.dev.
+    """
+    if "traceEvents" not in document:
+        raise FileFormatError(
+            f"{path}: not a Chrome trace document (no 'traceEvents')"
+        )
+    Path(path).write_text(json.dumps(document, indent=1) + "\n")
 
 
 def save_bench(

@@ -19,6 +19,10 @@ kind                  emitted by / meaning
                       executed chunk of a sharded trial sweep
 ``fault``             :class:`repro.faults.injector.FaultInjector` —
                       one injected fault (drop/delay/duplicate/crash)
+``slo_sample``        :class:`repro.trace.slo.SLOMonitor` — one
+                      ε(round) measurement against the declared SLO
+``slo_violation``     :class:`repro.trace.slo.SLOMonitor` — a binding
+                      SLO round whose ε exceeded the target
 ====================  ===============================================
 
 Every record is a flat JSON object (see :meth:`Event.to_dict`), so a
@@ -58,6 +62,8 @@ EVENT_KINDS: FrozenSet[str] = frozenset(
         "message_batch",
         "trial_chunk",
         "fault",
+        "slo_sample",
+        "slo_violation",
     }
 )
 

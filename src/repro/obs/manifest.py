@@ -142,6 +142,40 @@ class RunManifest:
             "worker_timings": list(worker_timings),
         }
 
+    def record_fault_plan(self, plan: Any) -> None:
+        """Record a :class:`~repro.faults.plan.FaultPlan` under ``extra``.
+
+        Captures every knob needed to rebuild the plan — seed, the
+        drop/duplicate/delay rates, ``max_delay``, the crash spec, and
+        partition windows — so a fault run is reproducible from its
+        manifest alone.  Duck-typed (``plan`` is any FaultPlan-shaped
+        object) to keep ``repro.obs`` import-independent of
+        ``repro.faults``.
+        """
+        self.extra["faults"] = {
+            "seed": plan.seed,
+            "drop_rate": plan.drop_rate,
+            "duplicate_rate": plan.duplicate_rate,
+            "delay_rate": plan.delay_rate,
+            "max_delay": plan.max_delay,
+            "crashes": [
+                {
+                    "node": repr(crash.node),
+                    "round": crash.round,
+                    "restart_round": crash.restart_round,
+                }
+                for crash in plan.crashes
+            ],
+            "partitions": [
+                {
+                    "start": window.start,
+                    "end": window.end,
+                    "group": sorted(repr(v) for v in window.group),
+                }
+                for window in plan.partitions
+            ],
+        }
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe manifest document."""
         return {

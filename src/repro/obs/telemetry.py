@@ -20,39 +20,88 @@ Example
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Any, Optional
 
 from repro.obs.events import EventLog
 from repro.obs.manifest import RunManifest
-from repro.obs.metrics import MetricsRegistry, Timer, _NullTimer
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["Telemetry", "NULL_TELEMETRY"]
 
 
 @dataclass
 class Telemetry:
-    """One run's telemetry sinks: registry, event log, manifest."""
+    """One run's telemetry sinks: registry, event log, manifest.
+
+    ``tracer`` and ``profiler`` are the ``repro.trace`` hooks
+    (:class:`~repro.trace.span.CausalTracer` /
+    :class:`~repro.trace.profiler.PhaseProfiler`); they are typed
+    loosely because importing ``repro.trace`` here would cycle through
+    ``repro.core.asm``.  Components test them against ``None`` and
+    skip every hook when absent, so untraced runs pay nothing.
+    """
 
     metrics: MetricsRegistry
     events: EventLog
     manifest: Optional[RunManifest] = None
+    tracer: Optional[Any] = None
+    profiler: Optional[Any] = None
 
     @property
     def enabled(self) -> bool:
-        """Whether either sink records anything."""
+        """Whether either classic sink records anything."""
         return self.metrics.enabled or self.events.enabled
 
-    def timer(self, name: str) -> Union[Timer, _NullTimer]:
-        """Shorthand for ``self.metrics.timer(name)``."""
+    def timer(self, name: str) -> Any:
+        """A phase-timing context manager.
+
+        Normally ``self.metrics.timer(name)``; with a profiler
+        attached, the profiler's :meth:`~repro.trace.profiler.
+        PhaseProfiler.phase` instead, which still feeds the metrics
+        histogram when metrics are enabled — so profiled runs keep the
+        exact metric surface of unprofiled ones.
+        """
+        if self.profiler is not None:
+            return self.profiler.phase(
+                name,
+                registry=self.metrics if self.metrics.enabled else None,
+            )
         return self.metrics.timer(name)
 
     @classmethod
-    def create(cls, manifest: Optional[RunManifest] = None) -> "Telemetry":
+    def create(
+        cls,
+        manifest: Optional[RunManifest] = None,
+        tracer: Optional[Any] = None,
+        profiler: Optional[Any] = None,
+    ) -> "Telemetry":
         """A fresh enabled bundle (one per run)."""
         return cls(
             metrics=MetricsRegistry(enabled=True),
             events=EventLog(enabled=True),
             manifest=manifest,
+            tracer=tracer,
+            profiler=profiler,
+        )
+
+    @classmethod
+    def tracing(
+        cls,
+        tracer: Optional[Any] = None,
+        profiler: Optional[Any] = None,
+    ) -> "Telemetry":
+        """A bundle carrying only trace/profile hooks.
+
+        Metrics and events stay disabled (``enabled`` is ``False``), so
+        the classic counter paths keep their no-op cost while the
+        tracer/profiler hooks fire.
+        """
+        return cls(
+            metrics=MetricsRegistry(enabled=False),
+            events=EventLog(enabled=False),
+            manifest=None,
+            tracer=tracer,
+            profiler=profiler,
         )
 
     @classmethod

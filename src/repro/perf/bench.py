@@ -238,6 +238,7 @@ def run_bench(
     scale: str = "full",
     repeats: int = 3,
     workers: int = 1,
+    telemetry=None,
 ) -> Dict[str, Any]:
     """Execute the pinned matrix and return the report body.
 
@@ -251,6 +252,11 @@ def run_bench(
         Worker processes for the matrix (default 1 = in-process).
         Deterministic counters are identical for any value; per-case
         wall times remain in-worker single-threaded measurements.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry`; the pool
+        merges worker metrics and emits one ``trial_chunk`` event per
+        bench case into it (the ``--metrics-out``/``--events-out``
+        CLI path).
     """
     if scale not in ("full", "smoke"):
         raise InvalidParameterError(
@@ -282,7 +288,7 @@ def run_bench(
         )
     )
     # One spec per chunk: each bench case is its own timing unit.
-    pool = TrialPool(workers=workers, chunk_size=1)
+    pool = TrialPool(workers=workers, chunk_size=1, telemetry=telemetry)
     outcomes = pool.run(specs)
     report: Dict[str, Any] = {
         "scale": scale,

@@ -22,7 +22,7 @@ trajectories are bit-identical to the pre-index implementation.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.asm import ASMEngine, ASMObserver, ProposalRoundStats
 from repro.core.matching import Matching
@@ -103,6 +103,7 @@ class BlockingPairIndex:
         "_man_partner",
         "_woman_partner",
         "_pool",
+        "_profiler",
     )
 
     def __init__(
@@ -126,8 +127,19 @@ class BlockingPairIndex:
                 self._man_partner[m] = w
                 self._woman_partner[w] = m
         self._pool = _PairPool()
+        self._profiler = None
         for m in range(prefs.n_men):
             self._rescan_man(m)
+
+    def attach_profiler(self, profiler: Any) -> None:
+        """Attach a :class:`~repro.trace.profiler.PhaseProfiler`.
+
+        Rescans then accumulate deterministic op counts (players
+        rescanned, edges examined) under ``index.rescan``.  Detach by
+        passing ``None``; without a profiler the hot paths pay only a
+        ``None`` check.
+        """
+        self._profiler = profiler
 
     # -- read access ---------------------------------------------------
 
@@ -206,6 +218,10 @@ class BlockingPairIndex:
                     pool.add(pair)
                     continue
             pool.discard(pair)
+        if self._profiler is not None:
+            self._profiler.count(
+                "index.rescan", men=1, edges=len(self._man_lists[m])
+            )
 
     def _rescan_woman(self, w: int) -> None:
         cur = self._woman_cur(w)
@@ -224,6 +240,10 @@ class BlockingPairIndex:
                     pool.add(pair)
                     continue
             pool.discard(pair)
+        if self._profiler is not None:
+            self._profiler.count(
+                "index.rescan", women=1, edges=len(self._woman_lists[w])
+            )
 
     # -- mutations -----------------------------------------------------
 

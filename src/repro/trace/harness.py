@@ -1,0 +1,169 @@
+"""Trace trial runner: sharded traced runs with bit-identical merges.
+
+:func:`run_trace_trial` is a :class:`~repro.parallel.spec.TrialSpec`
+runner (reference :data:`TRACE_TRIAL_RUNNER`): it runs message-level
+ASM (or Gale–Shapley) with a :class:`~repro.trace.span.CausalTracer`
+and :class:`~repro.trace.profiler.PhaseProfiler` attached and returns
+a JSON-safe dict whose ``trace`` field is the run's causal trace.
+Because trace ids are pure functions of causal history (no wall time,
+no worker identity), the trace is byte-identical for any ``--workers``
+count, and :func:`merge_trace_trials` merges shards in trial-spec
+order — the same discipline as the fault layer's worker-identity
+guarantee (``docs/parallel.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.parallel.spec import TrialSpec
+from repro.trace.profiler import PhaseProfiler, merge_summaries
+from repro.trace.span import CausalTracer
+
+__all__ = [
+    "TRACE_TRIAL_RUNNER",
+    "run_trace_trial",
+    "merge_trace_trials",
+]
+
+#: Runner reference for trace trial specs (see docs/parallel.md).
+TRACE_TRIAL_RUNNER = "repro.trace.harness:run_trace_trial"
+
+
+def run_trace_trial(spec: TrialSpec) -> Dict[str, Any]:
+    """Run one traced message-level trial.
+
+    The spec's ``workload`` field names the generator (default
+    ``complete``).  Spec params: ``protocol`` (``asm`` or ``gs``),
+    schedule overrides ``k`` /
+    ``inner`` / ``outer`` / ``mm_iterations``, and the fault knobs of
+    :func:`repro.faults.harness.fault_plan_for_profile` (``drop_rate``,
+    ``duplicate_rate``, ``delay_rate``, ``max_delay``, ``crash_nodes``,
+    ``crash_round``, ``restart_after``, ``fault_seed``).  The returned
+    dict is JSON-safe; ``trace`` holds the causal-trace records and
+    ``profile_summary`` the deterministic op-count summary — the two
+    objects the worker-identity tests diff byte-for-byte.
+    """
+    from repro.analysis.stability import instability
+    from repro.congest.protocols.asm_protocol import run_congest_asm
+    from repro.congest.protocols.gs_protocol import (
+        run_congest_gale_shapley,
+    )
+    from repro.faults.harness import fault_plan_for_profile
+    from repro.obs import Telemetry
+    from repro.workloads.generators import default_instance
+
+    prefs = default_instance(spec.workload or "complete", spec.n, spec.seed)
+    tracer = CausalTracer()
+    profiler = PhaseProfiler()
+    telemetry = Telemetry.tracing(tracer=tracer, profiler=profiler)
+    plan = None
+    if _fault_knobs_active(spec):
+        plan = fault_plan_for_profile(
+            prefs,
+            fault_seed=spec.param("fault_seed", 0),
+            drop_rate=spec.param("drop_rate", 0.0),
+            duplicate_rate=spec.param("duplicate_rate", 0.0),
+            delay_rate=spec.param("delay_rate", 0.0),
+            max_delay=spec.param("max_delay", 2),
+            crash_nodes=spec.param("crash_nodes", 0),
+            crash_round=spec.param("crash_round", 3),
+            restart_after=spec.param("restart_after"),
+        )
+    protocol = spec.param("protocol", "asm")
+    if protocol == "gs":
+        matching, sim = run_congest_gale_shapley(
+            prefs, telemetry=telemetry, faults=plan
+        )
+        stats = sim.stats
+        record: Dict[str, Any] = {
+            "matching": sorted(matching.pairs()),
+            "outcome": stats.outcome,
+            "rounds": stats.rounds,
+            "messages": stats.messages,
+            "unresolved_men": [],
+            "unresolved_women": [],
+        }
+    elif protocol == "asm":
+        result = run_congest_asm(
+            prefs,
+            spec.eps,
+            k=spec.param("k"),
+            inner_iterations=spec.param("inner"),
+            outer_iterations=spec.param("outer"),
+            mm_iterations=spec.param(
+                "mm_iterations", prefs.n_men + prefs.n_women
+            ),
+            telemetry=telemetry,
+            faults=plan,
+        )
+        matching = result.matching
+        record = {
+            "matching": sorted(matching.pairs()),
+            "outcome": result.stats.outcome,
+            "rounds": result.stats.rounds,
+            "messages": result.stats.messages,
+            "unresolved_men": list(result.unresolved_men),
+            "unresolved_women": list(result.unresolved_women),
+        }
+    else:
+        raise ValueError(f"unknown trace protocol {protocol!r}")
+    record["instability"] = instability(prefs, matching)
+    record["trace"] = tracer.to_records()
+    record["open_spans"] = tracer.open_spans()
+    record["profile_summary"] = profiler.deterministic_summary()
+    record["profile_records"] = list(profiler.records)
+    return record
+
+
+def _fault_knobs_active(spec: TrialSpec) -> bool:
+    return bool(
+        spec.param("drop_rate", 0.0)
+        or spec.param("duplicate_rate", 0.0)
+        or spec.param("delay_rate", 0.0)
+        or spec.param("crash_nodes", 0)
+    )
+
+
+def merge_trace_trials(
+    results: Sequence[Optional[Dict[str, Any]]],
+) -> Dict[str, Any]:
+    """Merge sharded trace-trial results in spec order.
+
+    ``results`` must be in trial-spec order (what
+    :meth:`~repro.parallel.pool.TrialPool.run` returns), which makes
+    the merged document independent of the worker count.  Each trace
+    record is tagged with its ``trial`` index; deterministic profile
+    summaries are summed; wall-clock profile records get the trial
+    index as their Chrome ``tid`` lane.
+    """
+    merged_tracer = CausalTracer()
+    merged_profiler = PhaseProfiler()
+    summaries: List[Dict[str, Any]] = []
+    trials: List[Dict[str, Any]] = []
+    for index, result in enumerate(results):
+        if result is None:
+            continue
+        merged_tracer.merge(result.get("trace", ()), trial=index)
+        merged_profiler.merge_records(
+            result.get("profile_records", ()), tid=index
+        )
+        summaries.append(result.get("profile_summary", {}))
+        trials.append(
+            {
+                "trial": index,
+                "matching": result.get("matching"),
+                "instability": result.get("instability"),
+                "outcome": result.get("outcome"),
+                "rounds": result.get("rounds"),
+                "messages": result.get("messages"),
+                "unresolved_men": result.get("unresolved_men"),
+                "unresolved_women": result.get("unresolved_women"),
+            }
+        )
+    return {
+        "trials": trials,
+        "trace": merged_tracer.to_records(),
+        "profile_summary": merge_summaries(summaries),
+        "profile_records": list(merged_profiler.records),
+    }

@@ -1,0 +1,251 @@
+"""Deterministic phase profiler with Chrome trace-event export.
+
+A :class:`PhaseProfiler` records two strictly separated layers:
+
+* **Deterministic op counts** — per-phase call counts and integer
+  counters (proposals scanned, index edges rescanned, messages
+  delivered...).  :meth:`PhaseProfiler.deterministic_summary` contains
+  *only* these, so it is bit-identical across runs, worker counts, and
+  machines — the profile analogue of the fault layer's byte-stable
+  trace.
+* **Wall-clock phase records** — ``time.perf_counter`` intervals per
+  phase, kept in :attr:`PhaseProfiler.records` and exportable as
+  Chrome trace-event JSON (:meth:`to_chrome_trace`, loadable in
+  ``chrome://tracing`` / Perfetto) via
+  :func:`repro.io.save_chrome_trace`.  Wall data never enters the
+  deterministic summary.
+
+Hook sites: :class:`~repro.core.asm.ASMEngine` phases (ProposalRound /
+QuantileMatch / outer iteration, plus the ``asm.phase.*`` timers,
+which feed the profiler automatically through
+:meth:`repro.obs.telemetry.Telemetry.timer`),
+:class:`~repro.perf.blocking_index.BlockingPairIndex` rescans, and
+:class:`~repro.congest.simulator.Simulator` delivery.  Components
+reach the profiler via ``telemetry.profiler`` and skip every hook when
+it is ``None`` — disabled runs pay nothing (``test_obs_overhead``).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+__all__ = ["PhaseProfiler", "chrome_trace_document", "merge_summaries"]
+
+
+def _us(seconds: float) -> float:
+    """Seconds → microseconds, rounded (Chrome's ``ts``/``dur`` unit)."""
+    return round(seconds * 1e6, 3)
+
+
+class PhaseProfiler:
+    """Collects phase timings (wall) and op counts (deterministic)."""
+
+    def __init__(self) -> None:
+        #: Completed wall-clock phase records (Chrome-event shaped).
+        self.records: List[Dict[str, Any]] = []
+        #: Deterministic integer counters per phase name.
+        self.counters: Dict[str, Dict[str, int]] = {}
+        #: Deterministic call counts per phase name.
+        self.calls: Dict[str, int] = {}
+        self._t0 = perf_counter()
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def phase(
+        self,
+        name: str,
+        registry: Optional[Any] = None,
+        **counts: int,
+    ) -> "_PhaseTimer":
+        """Context manager timing one phase.
+
+        ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`)
+        additionally receives the duration as a histogram observation,
+        which is how :meth:`repro.obs.telemetry.Telemetry.timer` keeps
+        the existing phase histograms alive while profiling.
+        ``counts`` seed the phase's deterministic counters; the timer's
+        :meth:`_PhaseTimer.add` accumulates more inside the block.
+        """
+        return _PhaseTimer(self, name, registry, dict(counts))
+
+    def record(self, name: str, seconds: float, **counts: int) -> None:
+        """Record one pre-measured phase (hot paths that self-time)."""
+        now = perf_counter() - self._t0
+        self.records.append(
+            {
+                "name": name,
+                "ts": _us(now - seconds),
+                "dur": _us(seconds),
+                "depth": self._depth,
+                "args": dict(counts),
+            }
+        )
+        self._bump(name, counts)
+
+    def count(self, name: str, **counts: int) -> None:
+        """Accumulate deterministic counters without a wall record."""
+        bucket = self.counters.setdefault(name, {})
+        for key, value in counts.items():
+            bucket[key] = bucket.get(key, 0) + int(value)
+
+    def _bump(self, name: str, counts: Mapping[str, int]) -> None:
+        self.calls[name] = self.calls.get(name, 0) + 1
+        if counts:
+            self.count(name, **counts)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def deterministic_summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-phase calls + counters; **no wall-clock data**.
+
+        Bit-identical across runs and worker counts for the same
+        seeded work — the object the parallel bit-identity tests diff.
+        """
+        names = sorted(set(self.calls) | set(self.counters))
+        return {
+            name: {
+                "calls": self.calls.get(name, 0),
+                "counts": dict(sorted(self.counters.get(name, {}).items())),
+            }
+            for name in names
+        }
+
+    def to_chrome_trace(
+        self,
+        metadata: Optional[Dict[str, Any]] = None,
+        pid: int = 0,
+        tid: int = 0,
+    ) -> Dict[str, Any]:
+        """The wall-clock records as a Chrome trace-event document.
+
+        Load the saved file (:func:`repro.io.save_chrome_trace`) in
+        ``chrome://tracing`` or https://ui.perfetto.dev.  Records that
+        carry their own ``pid``/``tid`` (merged multi-trial profiles)
+        keep them; ``pid``/``tid`` here are the defaults.
+        """
+        return chrome_trace_document(
+            self.records, metadata=metadata, pid=pid, tid=tid
+        )
+
+    def merge_records(
+        self, other_records: Iterable[Dict[str, Any]], tid: int = 0
+    ) -> None:
+        """Append another profiler's wall records under lane ``tid``."""
+        for record in other_records:
+            entry = dict(record)
+            entry["tid"] = tid
+            self.records.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def chrome_trace_document(
+    records: Iterable[Dict[str, Any]],
+    metadata: Optional[Dict[str, Any]] = None,
+    pid: int = 0,
+    tid: int = 0,
+) -> Dict[str, Any]:
+    """Wall-clock phase records as a Chrome trace-event document.
+
+    Module-level so merged record lists (from
+    :func:`repro.trace.harness.merge_trace_trials`) can be exported
+    without reconstructing a profiler.
+    """
+    events = [
+        {
+            "name": record["name"],
+            "cat": "repro",
+            "ph": "X",
+            "ts": record["ts"],
+            "dur": record["dur"],
+            "pid": record.get("pid", pid),
+            "tid": record.get("tid", tid),
+            "args": dict(record.get("args", {})),
+        }
+        for record in records
+    ]
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}),
+    }
+
+
+def merge_summaries(
+    summaries: Iterable[Dict[str, Dict[str, Any]]]
+) -> Dict[str, Dict[str, Any]]:
+    """Sum deterministic summaries (merge order-independent).
+
+    Addition is commutative, so the merged summary is identical for
+    any worker count as long as the same trials ran.
+    """
+    calls: Dict[str, int] = {}
+    counters: Dict[str, Dict[str, int]] = {}
+    for summary in summaries:
+        for name, entry in summary.items():
+            calls[name] = calls.get(name, 0) + int(entry.get("calls", 0))
+            bucket = counters.setdefault(name, {})
+            for key, value in entry.get("counts", {}).items():
+                bucket[key] = bucket.get(key, 0) + int(value)
+    return {
+        name: {
+            "calls": calls.get(name, 0),
+            "counts": dict(sorted(counters.get(name, {}).items())),
+        }
+        for name in sorted(set(calls) | set(counters))
+    }
+
+
+class _PhaseTimer:
+    """The context manager :meth:`PhaseProfiler.phase` returns."""
+
+    __slots__ = ("_profiler", "_name", "_registry", "_counts", "_start")
+
+    def __init__(
+        self,
+        profiler: PhaseProfiler,
+        name: str,
+        registry: Optional[Any],
+        counts: Dict[str, int],
+    ) -> None:
+        self._profiler = profiler
+        self._name = name
+        self._registry = registry
+        self._counts = counts
+        self._start = 0.0
+
+    def add(self, **counts: int) -> None:
+        """Accumulate deterministic counters for this phase call."""
+        for key, value in counts.items():
+            self._counts[key] = self._counts.get(key, 0) + int(value)
+
+    def __enter__(self) -> "_PhaseTimer":
+        profiler = self._profiler
+        profiler._depth += 1
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        end = perf_counter()
+        profiler = self._profiler
+        profiler._depth -= 1
+        duration = end - self._start
+        profiler.records.append(
+            {
+                "name": self._name,
+                "ts": _us(self._start - profiler._t0),
+                "dur": _us(duration),
+                "depth": profiler._depth,
+                "args": dict(self._counts),
+            }
+        )
+        profiler._bump(self._name, self._counts)
+        if self._registry is not None:
+            self._registry.observe(self._name, duration)

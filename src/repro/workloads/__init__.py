@@ -9,6 +9,7 @@ from repro.workloads.generators import (
     complete_uniform,
     euclidean,
     gnp_incomplete,
+    default_instance,
     make_instance,
     master_list,
     regular_bipartite,
@@ -22,6 +23,7 @@ __all__ = [
     "bounded_degree",
     "clustered",
     "complete_uniform",
+    "default_instance",
     "euclidean",
     "gnp_incomplete",
     "make_instance",

@@ -37,6 +37,7 @@ __all__ = [
     "adversarial_gale_shapley",
     "GENERATORS",
     "make_instance",
+    "default_instance",
 ]
 
 
@@ -319,3 +320,34 @@ def make_instance(name: str, **kwargs) -> PreferenceProfile:
             f"unknown workload {name!r}; available: {sorted(GENERATORS)}"
         ) from None
     return gen(**kwargs)
+
+
+def default_instance(name: str, n: int, seed: int) -> PreferenceProfile:
+    """Instantiate generator ``name`` at scale ``n`` with its defaults.
+
+    One shared definition of "the default shape" per workload (gnp at
+    density 0.25, bounded/regular at degree 8, ...), so the CLI and the
+    trial runners (``repro.trace.harness``, sweeps) agree on what, say,
+    ``("gnp", n=64, seed=3)`` means.
+    """
+    if name not in GENERATORS:
+        raise InvalidParameterError(
+            f"unknown workload {name!r}; available: {sorted(GENERATORS)}"
+        )
+    if name == "gnp":
+        return GENERATORS[name](n, 0.25, seed)
+    if name == "bounded":
+        return GENERATORS[name](n, 8, seed)
+    if name == "regular":
+        return GENERATORS[name](n, 8, seed)
+    if name == "almost_regular":
+        return GENERATORS[name](n, max(1, n // 8), max(1, n // 4), seed)
+    if name == "master_list":
+        return GENERATORS[name](n, 0.1, seed)
+    if name == "zipf":
+        return GENERATORS[name](n, 1.0, seed)
+    if name == "clustered":
+        return GENERATORS[name](n, seed=seed)
+    if name == "adversarial_gs":
+        return GENERATORS[name](n)
+    return GENERATORS[name](n, seed)

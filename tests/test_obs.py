@@ -147,6 +147,8 @@ class TestEventLog:
             "message_batch",
             "trial_chunk",
             "fault",
+            "slo_sample",
+            "slo_violation",
         }
 
 
@@ -170,6 +172,32 @@ class TestRunManifest:
         m.finish()
         again = RunManifest.from_dict(m.to_dict())
         assert again.to_dict() == m.to_dict()
+
+    def test_record_fault_plan(self):
+        from repro.faults.harness import fault_plan_for_profile
+        from repro.workloads.generators import complete_uniform
+
+        prefs = complete_uniform(6, seed=0)
+        plan = fault_plan_for_profile(
+            prefs,
+            fault_seed=7,
+            drop_rate=0.2,
+            delay_rate=0.1,
+            crash_nodes=1,
+            crash_round=3,
+            restart_after=2,
+        )
+        m = RunManifest.capture(algorithm="congest-asm", n=6)
+        m.record_fault_plan(plan)
+        faults = m.to_dict()["extra"]["faults"]
+        assert faults["seed"] == 7
+        assert faults["drop_rate"] == 0.2
+        assert faults["delay_rate"] == 0.1
+        assert len(faults["crashes"]) == 1
+        crash = faults["crashes"][0]
+        assert crash["round"] == 3
+        assert crash["restart_round"] == 5
+        json.dumps(faults)  # must be JSON-safe
 
 
 class TestTelemetry:

@@ -1,0 +1,172 @@
+"""Phase profiler: deterministic summaries, Chrome export, merges,
+and the Telemetry.timer integration that keeps metric histograms alive
+while profiling."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.asm import asm
+from repro.obs.telemetry import Telemetry
+from repro.trace.profiler import (
+    PhaseProfiler,
+    chrome_trace_document,
+    merge_summaries,
+)
+from repro.workloads.generators import complete_uniform
+
+
+class TestPhaseTimer:
+    def test_phase_records_and_counts(self):
+        prof = PhaseProfiler()
+        with prof.phase("work", items=3) as timer:
+            timer.add(items=2, extra=1)
+        assert prof.calls["work"] == 1
+        assert prof.counters["work"] == {"items": 5, "extra": 1}
+        record = prof.records[0]
+        assert record["name"] == "work"
+        assert record["dur"] >= 0
+        assert record["args"] == {"items": 5, "extra": 1}
+
+    def test_nesting_depth(self):
+        prof = PhaseProfiler()
+        with prof.phase("outer"):
+            with prof.phase("inner"):
+                pass
+        by_name = {r["name"]: r for r in prof.records}
+        assert by_name["inner"]["depth"] == 1
+        assert by_name["outer"]["depth"] == 0
+
+    def test_record_and_count(self):
+        prof = PhaseProfiler()
+        prof.record("round", 0.001, messages=4)
+        prof.count("index.rescan", edges=7)
+        prof.count("index.rescan", edges=3)
+        assert prof.calls == {"round": 1}
+        assert prof.counters["index.rescan"] == {"edges": 10}
+        assert len(prof) == 1  # count() emits no wall record
+
+    def test_registry_feed(self):
+        prof = PhaseProfiler()
+        telemetry = Telemetry.create(profiler=prof)
+        with telemetry.timer("asm.phase.propose"):
+            pass
+        # The profiler records the phase AND the metrics histogram
+        # still observes it — the metric surface is unchanged.
+        assert prof.calls["asm.phase.propose"] == 1
+        assert "asm.phase.propose" in telemetry.metrics.histograms
+
+    def test_tracing_bundle_skips_registry(self):
+        prof = PhaseProfiler()
+        telemetry = Telemetry.tracing(profiler=prof)
+        assert not telemetry.enabled
+        with telemetry.timer("asm.phase.propose"):
+            pass
+        assert prof.calls["asm.phase.propose"] == 1
+        assert not telemetry.metrics.histograms
+
+
+class TestDeterministicSummary:
+    def test_no_wall_fields(self):
+        prof = PhaseProfiler()
+        with prof.phase("work", items=1):
+            pass
+        summary = prof.deterministic_summary()
+        assert summary == {"work": {"calls": 1, "counts": {"items": 1}}}
+
+    def test_summary_is_bit_identical_across_runs(self):
+        def one_run():
+            prefs = complete_uniform(12, seed=0)
+            prof = PhaseProfiler()
+            asm(prefs, 0.25, telemetry=Telemetry.tracing(profiler=prof))
+            return prof.deterministic_summary()
+
+        assert json.dumps(one_run()) == json.dumps(one_run())
+
+    def test_sorted_keys(self):
+        prof = PhaseProfiler()
+        prof.count("z", b=1, a=1)
+        prof.count("a", z=1)
+        summary = prof.deterministic_summary()
+        assert list(summary) == ["a", "z"]
+        assert list(summary["z"]["counts"]) == ["a", "b"]
+
+
+class TestMergeSummaries:
+    def test_addition(self):
+        a = {"p": {"calls": 2, "counts": {"x": 3}}}
+        b = {"p": {"calls": 1, "counts": {"x": 1, "y": 5}}, "q": {"calls": 1, "counts": {}}}
+        merged = merge_summaries([a, b])
+        assert merged == {
+            "p": {"calls": 3, "counts": {"x": 4, "y": 5}},
+            "q": {"calls": 1, "counts": {}},
+        }
+
+    def test_order_independent(self):
+        a = {"p": {"calls": 2, "counts": {"x": 3}}}
+        b = {"q": {"calls": 1, "counts": {"y": 1}}}
+        assert merge_summaries([a, b]) == merge_summaries([b, a])
+
+    def test_empty(self):
+        assert merge_summaries([]) == {}
+
+
+class TestChromeExport:
+    def test_document_shape(self):
+        prof = PhaseProfiler()
+        with prof.phase("work", items=2):
+            pass
+        doc = prof.to_chrome_trace(metadata={"n": 8})
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"] == {"n": 8}
+        (event,) = doc["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["cat"] == "repro"
+        assert event["name"] == "work"
+        assert event["pid"] == 0 and event["tid"] == 0
+        json.dumps(doc)  # must be JSON-safe
+
+    def test_merged_records_keep_their_lane(self):
+        a = PhaseProfiler()
+        with a.phase("work"):
+            pass
+        merged = PhaseProfiler()
+        merged.merge_records(a.records, tid=5)
+        doc = chrome_trace_document(merged.records)
+        assert doc["traceEvents"][0]["tid"] == 5
+
+    def test_module_level_document_matches_method(self):
+        prof = PhaseProfiler()
+        with prof.phase("work"):
+            pass
+        assert chrome_trace_document(prof.records) == prof.to_chrome_trace()
+
+
+class TestEngineIntegration:
+    def test_asm_phases_show_up(self):
+        prefs = complete_uniform(12, seed=0)
+        prof = PhaseProfiler()
+        asm(prefs, 0.25, telemetry=Telemetry.tracing(profiler=prof))
+        summary = prof.deterministic_summary()
+        for phase in (
+            "asm.outer_iteration",
+            "asm.quantile_match",
+            "asm.phase.propose",
+            "asm.proposal_round",
+        ):
+            assert phase in summary, phase
+        counts = summary["asm.proposal_round"]["counts"]
+        assert counts["proposals"] > 0
+
+    def test_disabled_profiler_records_nothing(self):
+        prefs = complete_uniform(8, seed=0)
+        result = asm(prefs, 0.25)  # NULL telemetry path
+        assert result.matching is not None
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,233 @@
+"""Worker-identity of the trace layer: sharded traced trials must be
+byte-identical for any ``--workers`` count, and the CLI must reproduce
+the committed golden causal trace (the CI trace-smoke job replays
+exactly these checks)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.io import load_trace
+from repro.parallel import TrialPool, TrialSpec
+from repro.parallel.spec import derive_seed
+from repro.trace.harness import (
+    TRACE_TRIAL_RUNNER,
+    merge_trace_trials,
+    run_trace_trial,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "causal_trace.json"
+
+
+def _specs(trials=3, protocol="asm"):
+    return [
+        TrialSpec.make(
+            TRACE_TRIAL_RUNNER,
+            algorithm="congest-asm",
+            workload="complete",
+            n=4,
+            eps=0.5,
+            seed=derive_seed(0, "trace", index),
+            trial=index,
+            protocol=protocol,
+            k=2,
+            inner=2,
+            outer=2,
+            mm_iterations=4,
+            drop_rate=0.25,
+            duplicate_rate=0.0,
+            delay_rate=0.0,
+            max_delay=2,
+            crash_nodes=0,
+            crash_round=3,
+            restart_after=None,
+            fault_seed=7,
+        )
+        for index in range(trials)
+    ]
+
+
+def _merged(workers):
+    results = TrialPool(workers=workers).run(_specs())
+    return merge_trace_trials(results)
+
+
+class TestRunner:
+    def test_runner_returns_json_safe_record(self):
+        record = run_trace_trial(_specs(trials=1)[0])
+        json.dumps(record)
+        assert record["outcome"] == "converged"
+        assert record["trace"]
+        assert record["open_spans"] == []
+        assert record["profile_summary"]
+
+    def test_unknown_protocol_raises(self):
+        spec = TrialSpec.make(
+            TRACE_TRIAL_RUNNER, n=4, eps=0.5, seed=0, protocol="nope"
+        )
+        with pytest.raises(ValueError):
+            run_trace_trial(spec)
+
+    def test_gs_protocol_supported(self):
+        spec = TrialSpec.make(
+            TRACE_TRIAL_RUNNER,
+            workload="complete",
+            n=4,
+            seed=3,
+            protocol="gs",
+        )
+        record = run_trace_trial(spec)
+        assert len(record["matching"]) == 4
+        assert record["trace"]
+
+
+class TestWorkerIdentity:
+    def test_workers_1_2_3_bit_identical(self):
+        serial = _merged(workers=1)
+        for workers in (2, 3):
+            sharded = _merged(workers=workers)
+            assert json.dumps(sharded["trace"]) == json.dumps(
+                serial["trace"]
+            )
+            assert json.dumps(sharded["profile_summary"]) == json.dumps(
+                serial["profile_summary"]
+            )
+            assert sharded["trials"] == serial["trials"]
+
+    def test_merge_tags_trial_index(self):
+        merged = _merged(workers=1)
+        trials = {r["trial"] for r in merged["trace"]}
+        assert trials == {0, 1, 2}
+
+    def test_merge_skips_missing_results(self):
+        results = TrialPool(workers=1).run(_specs(trials=2))
+        merged = merge_trace_trials([results[0], None])
+        assert [t["trial"] for t in merged["trials"]] == [0]
+
+
+# The exact CLI invocation the CI trace-smoke job replays; the golden
+# file pins the trace bytes (regenerate by running the command below
+# with --trace-out tests/golden/causal_trace.json).
+GOLDEN_ARGS = [
+    "trace",
+    "--n", "4",
+    "--eps", "0.5",
+    "--k", "2",
+    "--inner", "2",
+    "--outer", "2",
+    "--mm-iterations", "4",
+    "--drop-rate", "0.25",
+    "--fault-seed", "7",
+    "--seed", "0",
+    "--trials", "2",
+]
+
+
+class TestGoldenCausalTrace:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_cli_reproduces_committed_trace(self, tmp_path, workers):
+        out = tmp_path / "trace.json"
+        code = main(
+            GOLDEN_ARGS
+            + ["--workers", str(workers), "--trace-out", str(out)]
+        )
+        assert code == 0
+        assert out.read_bytes() == GOLDEN.read_bytes()
+
+    def test_golden_is_well_formed(self):
+        metadata, records = load_trace(GOLDEN)
+        assert metadata["fault_seed"] == 7
+        assert metadata["trials"] == 2
+        messages = [r for r in records if r.get("type") == "message"]
+        assert messages, "golden trace should contain messages"
+        dropped = [m for m in messages if m.get("fate") == "dropped"]
+        assert dropped, "golden trace should contain dropped messages"
+        ids = {m["id"] for m in messages}
+        for message in messages:
+            assert message["parent"] == "" or message["parent"] in ids
+
+
+class TestCLISurface:
+    def test_json_summary_is_worker_independent(self, capsys):
+        outputs = []
+        for workers in ("1", "2"):
+            code = main(GOLDEN_ARGS + ["--workers", workers, "--json"])
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        payload = json.loads(outputs[0])
+        assert payload["open_spans"] == []
+        assert payload["dropped_messages"] > 0
+
+    def test_explain_requires_single_trial(self, capsys):
+        code = main(GOLDEN_ARGS + ["--explain", "0", "0"])
+        assert code == 2
+
+    def test_explain_prints_verdict(self, capsys):
+        args = [a for a in GOLDEN_ARGS]
+        args[args.index("--trials") + 1] = "1"
+        code = main(args + ["--explain", "0", "0"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pair"] == [0, 0]
+        assert "verdict" in payload
+
+    def test_profile_out_is_chrome_shaped(self, tmp_path):
+        out = tmp_path / "prof.json"
+        code = main(GOLDEN_ARGS + ["--profile-out", str(out)])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["traceEvents"]
+        assert all(e["ph"] == "X" for e in document["traceEvents"])
+
+    def test_profile_command_slo_gate(self, tmp_path, capsys):
+        ok = main(
+            ["profile", "--n", "12", "--eps", "0.25",
+             "--slo-eps", "0.25"]
+        )
+        assert ok == 0
+        bad = main(
+            ["profile", "--n", "12", "--eps", "0.25",
+             "--slo-eps", "0.001", "--slo-deadline", "0"]
+        )
+        assert bad == 1
+
+    def test_profile_command_json(self, capsys):
+        code = main(
+            ["profile", "--n", "12", "--eps", "0.25", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["matching_size"] == 12
+        assert "asm.quantile_match" in payload["profile_summary"]
+
+    def test_bench_telemetry_flags(self, tmp_path, capsys):
+        # Satellite parity: bench accepts the same telemetry exports
+        # as run/congest.
+        metrics = tmp_path / "m.json"
+        events = tmp_path / "e.jsonl"
+        code = main(
+            [
+                "bench",
+                "--scale", "smoke",
+                "--repeats", "1",
+                "--out", str(tmp_path / "bench.json"),
+                "--metrics-out", str(metrics),
+                "--events-out", str(events),
+            ]
+        )
+        assert code == 0
+        assert metrics.exists()
+        assert events.exists()
+        header = json.loads(events.read_text().splitlines()[0])
+        assert header["manifest"]["algorithm"] == "bench"
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))
