@@ -936,9 +936,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run the static CONGEST-compliance / determinism analyzer."""
-    from repro.lint import format_json, format_text, load_config, run_lint
+    import dataclasses
+    import json
+    from pathlib import Path
+
+    from repro.lint import (
+        apply_baseline,
+        baseline_payload,
+        format_json,
+        format_sarif,
+        format_text,
+        load_baseline,
+        load_config,
+        run_lint,
+    )
 
     config = load_config(args.config)
+    if args.flow:
+        config = dataclasses.replace(config, flow=True)
     if args.disable:
         disabled = [
             part.strip()
@@ -957,8 +972,28 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"{marker} {rule.rule_id} [{rule.family}] {rule.description}")
         return 0
     report = run_lint(args.paths or None, config)
+    if args.update_baseline:
+        if args.baseline is None:
+            print(
+                "lint: --update-baseline requires --baseline PATH",
+                file=sys.stderr,
+            )
+            return 2
+        payload = baseline_payload(report)
+        Path(args.baseline).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(
+            f"baseline: accepted {len(payload['findings'])} finding(s) "
+            f"into {args.baseline}"
+        )
+        return 0
+    if args.baseline is not None:
+        report = apply_baseline(report, load_baseline(args.baseline))
     if args.format == "json":
         print(format_json(report))
+    elif args.format == "sarif":
+        print(format_sarif(report))
     else:
         print(format_text(report))
     return 0 if report.ok else 1
@@ -1225,9 +1260,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_p.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="report format (json is what the CI gate consumes)",
+        help="report format (json is what the CI gate consumes; sarif "
+        "feeds GitHub code-scanning annotations)",
+    )
+    lint_p.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the interprocedural determinism-flow analysis "
+        "(FLOW001-FLOW004): whole-program taint tracking of unordered "
+        "iteration and unseeded randomness",
+    )
+    lint_p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="findings baseline (e.g. benchmarks/lint_baseline.json): "
+        "accepted findings are counted, not failing",
+    )
+    lint_p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline to accept every current finding, then "
+        "exit 0",
     )
     lint_p.add_argument(
         "--config",

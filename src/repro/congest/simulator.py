@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, Mapping, Optional
+from typing import Any, Dict, Generator, List, Mapping, Optional
 
 from repro.congest.message import Message
 from repro.errors import (
@@ -60,7 +60,7 @@ class SimulationStats:
     messages: int = 0
     total_bits: int = 0
     max_message_bits: int = 0
-    messages_per_round: list = field(default_factory=list)
+    messages_per_round: List[int] = field(default_factory=list)
     outcome: str = "running"
     crashed_nodes: int = 0
     unfinished_nodes: int = 0
@@ -142,7 +142,7 @@ class Simulator:
         self._inboxes: Dict[NodeId, Dict[NodeId, Message]] = {
             v: {} for v in self.programs
         }
-        self._touched_inboxes: list = []
+        self._touched_inboxes: List[NodeId] = []
         # Deterministic scheduling order, precomputed once: step() used
         # to re-sort the live set by repr every round.
         self._order: Dict[NodeId, int] = {
@@ -162,7 +162,13 @@ class Simulator:
             if faults is not None
             else None
         )
-        self.crashed: set = set()
+        # Crashed nodes in crash order (node -> round it crashed in).
+        # An insertion-ordered dict, not a set: membership and len are
+        # what the hot path needs, and anything that iterates it (crash
+        # reports, result assembly) sees a deterministic order instead
+        # of a PYTHONHASHSEED-dependent one — the bug shape the lint
+        # FLOW rules exist to catch.
+        self.crashed: Dict[NodeId, int] = {}
 
     @property
     def finished(self) -> bool:
@@ -223,7 +229,7 @@ class Simulator:
                     and v not in self.crashed
                 ):
                     self.programs[v].close()
-                    self.crashed.add(v)
+                    self.crashed[v] = executing_round
                     # Detach the inbox so nothing queued there leaks
                     # into a captured result.
                     self._inboxes[v] = {}

@@ -24,7 +24,7 @@ plans invisible to metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Container, Dict, List, Optional, Tuple
 
 from repro.faults.plan import FaultPlan
 from repro.graphs import NodeId
@@ -176,7 +176,7 @@ class FaultInjector:
         sender: NodeId,
         recipient: NodeId,
         message: Any,
-        crashed: Set[NodeId],
+        crashed: Container[NodeId],
     ) -> bool:
         """Decide one validated message's fate; True = deliver now.
 
@@ -231,7 +231,7 @@ class FaultInjector:
         return deliver_now
 
     def due(
-        self, round_index: int, crashed: Set[NodeId]
+        self, round_index: int, crashed: Container[NodeId]
     ) -> List[Tuple[NodeId, NodeId, Any]]:
         """Deferred messages deliverable this round (in deferral order).
 

@@ -11,8 +11,13 @@ simulated round runs:
   against the declared schemas at ``O(log n)`` bits.
 * **Determinism** (``DET001–002``) — no unordered set iteration or
   global RNG use in the algorithm layers.
-* **Telemetry hygiene** (``TEL001–003``) — no ``print``, wall-clock
-  reads, or ad-hoc file exports in library code.
+* **Telemetry hygiene** (``TEL001–004``) — no ``print``, wall-clock
+  reads, ad-hoc file exports, or leaked spans in library code.
+* **Determinism flow** (``FLOW001–004``, opt-in via ``--flow``) — a
+  whole-program, interprocedural taint analysis: unordered iteration
+  and unseeded randomness must not reach message emission, telemetry
+  records, or persisted payloads, even across function and module
+  boundaries (:mod:`repro.lint.flow`).
 
 Run it via ``repro-asm lint`` (text or ``--format json``), or in-process:
 
@@ -26,8 +31,15 @@ configure rule sets and path scopes in ``[tool.repro-lint]`` — see
 
 from __future__ import annotations
 
+from repro.lint.baseline import (
+    apply_baseline,
+    baseline_payload,
+    fingerprint,
+    load_baseline,
+)
 from repro.lint.config import LintConfig, load_config
 from repro.lint.engine import (
+    ProjectRule,
     Rule,
     SourceFile,
     all_rules,
@@ -35,18 +47,24 @@ from repro.lint.engine import (
     rule_families,
     run_lint,
 )
-from repro.lint.reporters import format_json, format_text
+from repro.lint.reporters import format_json, format_sarif, format_text
 from repro.lint.violations import LintReport, Violation
 
 __all__ = [
     "LintConfig",
     "LintReport",
+    "ProjectRule",
     "Rule",
     "SourceFile",
     "Violation",
     "all_rules",
+    "apply_baseline",
+    "baseline_payload",
+    "fingerprint",
     "format_json",
+    "format_sarif",
     "format_text",
+    "load_baseline",
     "load_config",
     "register",
     "rule_families",

@@ -1,0 +1,91 @@
+"""Committed findings baseline: accepted patterns don't block CI.
+
+A baseline file records fingerprints of findings the project has
+reviewed and accepted (typically pre-existing patterns a newly added
+rule surfaces).  Applying it moves matching violations out of the
+report's failing set into a ``baselined`` count, so the gate only
+fails on *new* findings.
+
+Fingerprints are ``sha256(path|rule|message)`` — deliberately without
+line numbers, so moving code around a file does not invalidate the
+baseline, while any change to what the finding *says* (a different
+variable, a different sink) does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Union
+
+from repro.lint.violations import LintReport, Violation
+
+__all__ = [
+    "fingerprint",
+    "load_baseline",
+    "apply_baseline",
+    "baseline_payload",
+]
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(violation: Violation) -> str:
+    """Stable identity of a finding, line-number independent."""
+    key = f"{violation.path}|{violation.rule}|{violation.message}"
+    return hashlib.sha256(key.encode()).hexdigest()[:20]
+
+
+def load_baseline(path: Union[str, Path]) -> FrozenSet[str]:
+    """The accepted fingerprints of a baseline file.
+
+    A missing file is an empty baseline; a malformed one raises
+    ``ValueError`` (a silently ignored baseline would un-accept
+    everything and break CI confusingly).
+    """
+    target = Path(path)
+    if not target.is_file():
+        return frozenset()
+    payload = json.loads(target.read_text())
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"{target}: not a lint baseline file")
+    return frozenset(
+        str(entry["fingerprint"]) for entry in payload["findings"]
+    )
+
+
+def apply_baseline(
+    report: LintReport, accepted: FrozenSet[str]
+) -> LintReport:
+    """Move baselined violations out of the failing set, in place."""
+    if not accepted:
+        return report
+    remaining: List[Violation] = []
+    for violation in report.violations:
+        if fingerprint(violation) in accepted:
+            report.baselined += 1
+        else:
+            remaining.append(violation)
+    report.violations = remaining
+    return report
+
+
+def baseline_payload(report: LintReport) -> Dict[str, object]:
+    """The JSON document accepting every finding in ``report``.
+
+    Each entry keeps the human-readable context next to the
+    fingerprint so baseline diffs are reviewable.
+    """
+    return {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "fingerprint": fingerprint(v),
+                "rule": v.rule,
+                "path": v.path,
+                "message": v.message,
+            }
+            for v in sorted(report.violations)
+        ],
+    }

@@ -48,6 +48,8 @@ DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
     "library": ("src/repro",),
     # Process fan-out: everywhere except the sanctioned pool itself.
     "parallelism": ("src/repro",),
+    # Interprocedural determinism flow: the whole library.
+    "flow": ("src/repro",),
 }
 
 # Per-scope exemptions (entry points, the telemetry layer itself, and
@@ -65,6 +67,9 @@ DEFAULT_EXEMPT: Dict[str, Tuple[str, ...]] = {
     # repro.parallel is the one sanctioned home for process pools
     # (DET003 sends everything else there).
     "parallelism": ("src/repro/parallel",),
+    # The analyzer's own machinery manipulates rule/report sets and is
+    # not part of any replayed run.
+    "flow": ("src/repro/lint",),
 }
 
 
@@ -92,11 +97,20 @@ class LintConfig:
     exempt: Dict[str, Tuple[str, ...]] = field(
         default_factory=lambda: dict(DEFAULT_EXEMPT)
     )
+    # The interprocedural FLOW family is opt-in (``repro-asm lint
+    # --flow`` or ``flow = true`` in pyproject): it analyzes the whole
+    # program at once, so per-file invocations keep their fast path.
+    flow: bool = False
 
     def rule_enabled(self, rule_id: str, family: str) -> bool:
         """Whether a rule runs under this configuration."""
         if rule_id in self.disable or family in self.disable:
             return False
+        if family == "FLOW" and not self.flow:
+            # An explicit enable-list mention still switches FLOW on.
+            return self.enable is not None and (
+                rule_id in self.enable or family in self.enable
+            )
         if self.enable is not None:
             return rule_id in self.enable or family in self.enable
         return True
@@ -190,6 +204,8 @@ def load_config(
         kwargs["disable"] = config.disable | frozenset(table["disable"])
     if "enable" in table:
         kwargs["enable"] = frozenset(table["enable"])
+    if "flow" in table:
+        kwargs["flow"] = bool(table["flow"])
     scopes = dict(config.scopes)
     for name, value in (table.get("scopes") or {}).items():
         scopes[name] = tuple(value)

@@ -34,6 +34,7 @@ from repro.lint.violations import LintReport, Violation
 __all__ = [
     "SourceFile",
     "Rule",
+    "ProjectRule",
     "register",
     "all_rules",
     "rule_families",
@@ -121,6 +122,28 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """A whole-program rule: sees every parsed file of the run at once.
+
+    Per-file rules cannot see a ``set`` constructed in one function
+    ordering a loop in another file; subclasses implement
+    :meth:`check_project` instead of :meth:`check` and receive the full
+    list of parsed sources.  Violations they yield flow through the
+    same scope filter and per-line suppression machinery as per-file
+    findings, so ``# lint: ignore[FLOW001]`` and pyproject scopes work
+    unchanged.
+    """
+
+    def check(self, src: SourceFile, config: LintConfig) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(
+        self, sources: Sequence[SourceFile], config: LintConfig
+    ) -> Iterator[Violation]:
+        """Yield violations found anywhere in ``sources``."""
+        raise NotImplementedError
+
+
 _REGISTRY: List[Type[Rule]] = []
 
 
@@ -179,11 +202,16 @@ def run_lint(
         for rule in all_rules()
         if config.rule_enabled(rule.rule_id, rule.family)
     ]
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
     report = LintReport(rules_run=tuple(r.rule_id for r in rules))
+    # Project rules need the whole program parsed, even files no
+    # per-file rule applies to — a taint source may live anywhere.
+    sources: Dict[str, SourceFile] = {}
     for path in _iter_python_files(targets):
         posix = path.as_posix()
-        applicable = [r for r in rules if config.in_scope(r.scope, posix)]
-        if not applicable:
+        applicable = [r for r in file_rules if config.in_scope(r.scope, posix)]
+        if not applicable and not project_rules:
             continue
         report.files_scanned += 1
         try:
@@ -199,11 +227,22 @@ def run_lint(
                 )
             )
             continue
+        sources[posix] = src
         for rule in applicable:
             for violation in rule.check(src, config):
                 if src.is_suppressed(violation):
                     report.suppressed += 1
                 else:
                     report.violations.append(violation)
+    all_sources = list(sources.values())
+    for rule in project_rules:
+        for violation in rule.check_project(all_sources, config):
+            if not config.in_scope(rule.scope, violation.path):
+                continue
+            src_file = sources.get(violation.path)
+            if src_file is not None and src_file.is_suppressed(violation):
+                report.suppressed += 1
+            else:
+                report.violations.append(violation)
     report.violations.sort()
     return report

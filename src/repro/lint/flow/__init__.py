@@ -1,0 +1,41 @@
+"""Interprocedural determinism-flow analysis (``repro.lint.flow``).
+
+The per-file rules of :mod:`repro.lint.rules` cannot see a ``set``
+constructed in one function ordering a loop in another — exactly the
+bug shape that once made set-built outboxes produce
+``PYTHONHASHSEED``-dependent trace order in the simulator.  This
+package analyzes the *whole program*:
+
+* :mod:`~repro.lint.flow.project` builds the symbol table, import
+  resolution, and (conservative) call graph;
+* :mod:`~repro.lint.flow.taint` runs a forward taint analysis with
+  per-function summaries to an interprocedural fixpoint;
+* :mod:`~repro.lint.flow.cache` keys the result on source hashes so
+  repeated runs (and CI) skip the build.
+
+Findings surface as the ``FLOW001–FLOW004`` rule family
+(:mod:`repro.lint.rules.flow_rules`), enabled with ``repro-asm lint
+--flow``; ``# lint: ignore[FLOW001]`` suppressions, pyproject scopes,
+and the committed findings baseline all apply unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.lint.flow.cache import (
+    cached_findings,
+    digest_sources,
+    store_findings,
+)
+from repro.lint.flow.project import ProjectModel, module_qname
+from repro.lint.flow.taint import FlowFinding, Summary, analyze_project
+
+__all__ = [
+    "FlowFinding",
+    "ProjectModel",
+    "Summary",
+    "analyze_project",
+    "cached_findings",
+    "digest_sources",
+    "module_qname",
+    "store_findings",
+]

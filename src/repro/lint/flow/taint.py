@@ -1,0 +1,789 @@
+"""Interprocedural forward taint analysis over the project model.
+
+The analysis tracks two taint kinds through assignments, containers,
+and calls:
+
+``U`` (unordered)
+    The value's iteration order is unspecified — set literals and
+    comprehensions, ``set()``/``frozenset()`` calls, set algebra,
+    set-typed parameters and attributes, ``os.environ``, and any
+    ordered container *built by iterating* such a value (a list
+    appended to inside a ``for x in some_set`` loop is poisoned even
+    though lists are ordered).
+``E`` (entropy)
+    The value depends on ambient process state — the global ``random``
+    stream, an unseeded ``random.Random()``, wall clocks, ``hash()`` /
+    ``id()`` (``PYTHONHASHSEED`` / addresses), ``os.environ``,
+    ``os.urandom``, ``uuid.uuid4``.
+
+Per-function **summaries** make the analysis interprocedural: a
+summary records which taints a function returns outright, which
+parameters flow to its return value, and which parameters reach an
+order-sensitive sink inside it (directly or through further calls).
+Summaries are iterated to a fixpoint over the whole project — taint
+sets only grow and the lattice is finite, so the iteration terminates
+— and a final collection pass materializes findings:
+
+* ``FLOW001`` — an unordered value's iteration order reaches message
+  emission (a ``Message(...)`` construction, a ``yield``\\ ed outbox, a
+  loop feeding either).
+* ``FLOW002`` — unseeded/ambient randomness not laundered through
+  ``derive_seed`` reaches any sink.
+* ``FLOW003`` — an unordered value's iteration order reaches a
+  telemetry/trace/persistence sink (``emit``/``inc``/``observe``/
+  ``record``/``on_message`` calls, ``save_*`` payloads).
+* ``FLOW004`` — a set-typed attribute declared on a class is iterated
+  by a statement loop somewhere in the project; the declaration site
+  is flagged (use an insertion-ordered structure).
+
+Sanitizers clear taint: ``sorted()``/``min()``/``max()``/``sum()``/
+``len()``/``any()``/``all()`` consume iteration order safely (``U``
+cleared), and :func:`repro.parallel.spec.derive_seed` is the
+sanctioned entropy laundry (``E`` cleared).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.lint.flow.project import FunctionInfo, ModuleInfo, ProjectModel
+
+__all__ = ["FlowFinding", "Summary", "analyze_project"]
+
+# Taint tokens: "U", "E", or an int naming a parameter index.
+Token = Union[str, int]
+# Taint value: token -> human-readable origin (first origin wins).
+Taint = Dict[Token, str]
+
+UNORDERED = "U"
+ENTROPY = "E"
+
+# Iteration passes through these unchanged (order preserved).
+_TRANSPARENT_CALLS = frozenset(
+    {"list", "tuple", "iter", "reversed", "enumerate", "zip", "map",
+     "filter", "dict"}
+)
+# These consume their iterable order-insensitively: U (and parameter
+# markers, which exist to carry U/E across calls) are cleared.
+_ORDER_SAFE_CALLS = frozenset(
+    {"sorted", "min", "max", "sum", "len", "any", "all", "set",
+     "frozenset"}
+)
+# set()/frozenset() clear *incoming* order taint (the result has no
+# usable order of its own) but introduce U below.
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+
+# Methods whose call order lands in telemetry, traces, or recorders.
+_RECORD_METHODS = frozenset(
+    {"emit", "inc", "observe", "record", "on_message"}
+)
+# random.<fn> that do NOT bind the shared global stream.
+_RANDOM_FACTORIES = frozenset({"Random", "SystemRandom"})
+# Dotted call names that read ambient entropy.
+_ENTROPY_CALLS = {
+    "time.time": "time.time() (wall clock)",
+    "time.time_ns": "time.time_ns() (wall clock)",
+    "datetime.now": "datetime.now() (wall clock)",
+    "datetime.utcnow": "datetime.utcnow() (wall clock)",
+    "os.urandom": "os.urandom() (OS entropy)",
+    "os.getpid": "os.getpid() (process id)",
+    "uuid.uuid1": "uuid.uuid1() (ambient uuid)",
+    "uuid.uuid4": "uuid.uuid4() (random uuid)",
+}
+_ENTROPY_BUILTINS = {
+    "hash": "hash() (PYTHONHASHSEED-dependent)",
+    "id": "id() (address-dependent)",
+}
+# Names whose call launders entropy into the sanctioned seed stream.
+_SEED_SANITIZERS = frozenset({"derive_seed"})
+
+_SET_BINOPS = (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+_MUTATORS = frozenset(
+    {"append", "add", "extend", "update", "insert", "appendleft"}
+)
+
+_MAX_GLOBAL_ROUNDS = 12
+_MAX_LOCAL_ROUNDS = 24
+
+
+@dataclass(frozen=True)
+class FlowFinding:
+    """One interprocedural finding, pre-Violation."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+@dataclass
+class Summary:
+    """What one function does with taint, seen from its callers."""
+
+    # Taint tokens of the return value ("U"/"E" outright, int i when
+    # parameter i flows through to the return).
+    ret: Taint = field(default_factory=dict)
+    # Parameter index -> rule id -> sink description: a tainted
+    # argument in that position fires the rule at the call site.
+    sinks: Dict[int, Dict[str, str]] = field(default_factory=dict)
+
+    def merge_ret(self, taint: Taint) -> bool:
+        changed = False
+        for token, origin in taint.items():
+            if token not in self.ret:
+                self.ret[token] = origin
+                changed = True
+        return changed
+
+    def merge_sink(self, index: int, rule: str, detail: str) -> bool:
+        bucket = self.sinks.setdefault(index, {})
+        if rule not in bucket:
+            bucket[rule] = detail
+            return True
+        return False
+
+
+def _merge(into: Taint, *sources: Taint) -> Taint:
+    for src in sources:
+        for token, origin in src.items():
+            into.setdefault(token, origin)
+    return into
+
+
+def _without_order(taint: Taint) -> Taint:
+    """Taint minus order-sensitivity (kept: entropy)."""
+    return {t: o for t, o in taint.items() if t == ENTROPY}
+
+
+def _scope_statements(body: Sequence[ast.AST]) -> Iterator[ast.AST]:
+    """Every node in ``body``, excluding nested function/class scopes."""
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _call_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _FunctionPass:
+    """One intraprocedural pass over a single function."""
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        model: ProjectModel,
+        summaries: Dict[str, Summary],
+        collect: bool,
+    ) -> None:
+        self.info = info
+        self.model = model
+        self.module: ModuleInfo = model.modules[info.module]
+        self.summaries = summaries
+        self.summary = summaries[info.qname]
+        self.collect = collect
+        self.findings: List[FlowFinding] = []
+        self.changed = False
+        self.env: Dict[str, Taint] = {}
+        # Attribute iteration sites feeding FLOW004 (attr name only).
+        self.attr_loops: List[Tuple[str, ast.AST]] = []
+        body = info.node.body  # type: ignore[attr-defined]
+        self._nodes = list(_scope_statements(body))
+        self._seed_params()
+
+    # ------------------------------------------------------------------
+    # Environment
+    # ------------------------------------------------------------------
+
+    def _seed_params(self) -> None:
+        for index, name in enumerate(self.info.params):
+            taint: Taint = {index: f"parameter {name!r}"}
+            self.env[name] = taint
+        args = getattr(self.info.node, "args", None)
+        if args is not None:
+            from repro.lint.flow.project import _is_set_annotation
+
+            for arg in list(args.posonlyargs) + list(args.args) + list(
+                args.kwonlyargs
+            ):
+                if _is_set_annotation(arg.annotation):
+                    self.env.setdefault(arg.arg, {})[
+                        UNORDERED
+                    ] = f"set-typed parameter {arg.arg!r}"
+
+    def run(self) -> None:
+        for _ in range(_MAX_LOCAL_ROUNDS):
+            if not self._propagate_once():
+                break
+        self._scan_sinks()
+
+    def _propagate_once(self) -> bool:
+        changed = False
+
+        def bind(name: str, taint: Taint) -> None:
+            nonlocal changed
+            bucket = self.env.setdefault(name, {})
+            before = len(bucket)
+            _merge(bucket, taint)
+            if len(bucket) != before:
+                changed = True
+
+        for node in self._nodes:
+            if isinstance(node, ast.Assign):
+                taint = self.eval(node.value)
+                if taint:
+                    for target in node.targets:
+                        for name in self._target_names(target):
+                            bind(name, taint)
+            elif isinstance(node, ast.AnnAssign):
+                from repro.lint.flow.project import _is_set_annotation
+
+                taint = (
+                    self.eval(node.value) if node.value is not None else {}
+                )
+                if _is_set_annotation(node.annotation):
+                    taint = dict(taint)
+                    taint.setdefault(
+                        UNORDERED,
+                        f"set-typed binding "
+                        f"{getattr(node.target, 'id', '?')!r}",
+                    )
+                if taint and isinstance(node.target, ast.Name):
+                    bind(node.target.id, taint)
+            elif isinstance(node, ast.AugAssign):
+                taint = self.eval(node.value)
+                if taint and isinstance(node.target, ast.Name):
+                    bind(node.target.id, taint)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                iter_taint = self.eval(node.iter)
+                if UNORDERED not in iter_taint:
+                    continue
+                origin = iter_taint[UNORDERED]
+                # Ordered containers built while iterating an unordered
+                # value inherit the nondeterministic order.
+                for inner in _scope_statements(node.body):
+                    if (
+                        isinstance(inner, ast.Call)
+                        and isinstance(inner.func, ast.Attribute)
+                        and inner.func.attr in _MUTATORS
+                        and isinstance(inner.func.value, ast.Name)
+                    ):
+                        bind(
+                            inner.func.value.id,
+                            {
+                                UNORDERED: f"built while iterating "
+                                f"unordered value ({origin})"
+                            },
+                        )
+                    elif isinstance(inner, ast.Assign):
+                        for target in inner.targets:
+                            if isinstance(
+                                target, ast.Subscript
+                            ) and isinstance(target.value, ast.Name):
+                                bind(
+                                    target.value.id,
+                                    {
+                                        UNORDERED: f"keyed while iterating "
+                                        f"unordered value ({origin})"
+                                    },
+                                )
+        return changed
+
+    @staticmethod
+    def _target_names(target: ast.AST) -> Iterator[str]:
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from _FunctionPass._target_names(element)
+        elif isinstance(target, ast.Starred):
+            yield from _FunctionPass._target_names(target.value)
+
+    # ------------------------------------------------------------------
+    # Expression taint
+    # ------------------------------------------------------------------
+
+    def eval(self, node: Optional[ast.AST]) -> Taint:
+        if node is None:
+            return {}
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            taint: Taint = {UNORDERED: "set literal/comprehension"}
+            if isinstance(node, ast.SetComp):
+                for generator in node.generators:
+                    _merge(taint, _without_order(self.eval(generator.iter)))
+            return taint
+        if isinstance(
+            node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            taint = {}
+            for generator in node.generators:
+                _merge(taint, self.eval(generator.iter))
+            if isinstance(node, ast.DictComp):
+                _merge(taint, self.eval(node.key), self.eval(node.value))
+            else:
+                _merge(taint, self.eval(node.elt))
+            return taint
+        if isinstance(node, ast.Name):
+            return dict(self.env.get(node.id, {}))
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BinOp):
+            left, right = self.eval(node.left), self.eval(node.right)
+            if isinstance(node.op, _SET_BINOPS) and (
+                UNORDERED in left or UNORDERED in right
+            ):
+                return _merge({UNORDERED: "set algebra"}, left, right)
+            return _merge({}, left, right)
+        if isinstance(node, ast.BoolOp):
+            return _merge({}, *(self.eval(v) for v in node.values))
+        if isinstance(node, ast.IfExp):
+            return _merge({}, self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, ast.Subscript):
+            return self.eval(node.value)
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return _merge({}, *(self.eval(e) for e in node.elts))
+        if isinstance(node, ast.Dict):
+            parts = [self.eval(k) for k in node.keys if k is not None]
+            parts += [self.eval(v) for v in node.values]
+            return _merge({}, *parts)
+        if isinstance(node, ast.JoinedStr):
+            return _merge({}, *(self.eval(v) for v in node.values))
+        if isinstance(node, ast.FormattedValue):
+            return self.eval(node.value)
+        if isinstance(node, ast.Await):
+            return self.eval(node.value)
+        if isinstance(node, (ast.Compare, ast.Constant, ast.Lambda)):
+            return {}
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return {}
+        return {}
+
+    def _eval_attribute(self, node: ast.Attribute) -> Taint:
+        dotted = _dotted(node)
+        if dotted == "os.environ":
+            return {
+                UNORDERED: "os.environ (environment-dependent)",
+                ENTROPY: "os.environ (environment-dependent)",
+            }
+        receiver = node.value
+        # self.attr / obj.attr where attr is a known set-typed
+        # attribute of some project class.
+        if isinstance(receiver, ast.Name):
+            if receiver.id == "self" and self.info.cls is not None:
+                cls_qname = f"{self.info.module}.{self.info.cls}"
+                if node.attr in self.model.set_attrs.get(cls_qname, ()):
+                    return {
+                        UNORDERED: f"set-typed attribute "
+                        f"self.{node.attr} of {self.info.cls}"
+                    }
+            elif node.attr in self.model.set_attr_names:
+                return {
+                    UNORDERED: f"set-typed attribute .{node.attr}"
+                }
+        elif node.attr in self.model.set_attr_names and not isinstance(
+            receiver, ast.Name
+        ):
+            return {UNORDERED: f"set-typed attribute .{node.attr}"}
+        return {}
+
+    def _eval_call(self, node: ast.Call) -> Taint:
+        func = node.func
+        name = _call_name(func)
+        arg_taints = [self.eval(a) for a in node.args] + [
+            self.eval(k.value) for k in node.keywords
+        ]
+
+        if name in _SEED_SANITIZERS:
+            return {}
+        if isinstance(func, ast.Name):
+            resolved = self.module.imports.get(func.id, func.id)
+            if name in _SET_CONSTRUCTORS:
+                combined = _merge({}, *arg_taints)
+                return _merge(
+                    {UNORDERED: f"{name}() call"}, _without_order(combined)
+                )
+            if name in _ORDER_SAFE_CALLS:
+                combined = _merge({}, *arg_taints)
+                return _without_order(combined)
+            if name in _TRANSPARENT_CALLS:
+                return _merge({}, *arg_taints)
+            if name in _ENTROPY_BUILTINS:
+                return _merge(
+                    {ENTROPY: _ENTROPY_BUILTINS[name]}, *arg_taints
+                )
+            if resolved == "random.Random" and not (
+                node.args or node.keywords
+            ):
+                return {ENTROPY: "unseeded random.Random()"}
+            if resolved.startswith("random.") and (
+                resolved.split(".", 1)[1] not in _RANDOM_FACTORIES
+            ):
+                return _merge(
+                    {ENTROPY: f"{resolved}() (shared global RNG)"},
+                    *arg_taints,
+                )
+        dotted = _dotted(func)
+        if dotted is not None:
+            if dotted == "random.Random" and not (node.args or node.keywords):
+                return {ENTROPY: "unseeded random.Random()"}
+            if dotted.startswith("random.") and (
+                dotted.split(".", 1)[1] not in _RANDOM_FACTORIES
+            ):
+                return _merge(
+                    {ENTROPY: f"{dotted}() (shared global RNG)"}, *arg_taints
+                )
+            for pattern, origin in _ENTROPY_CALLS.items():
+                if dotted == pattern or dotted.endswith("." + pattern):
+                    return _merge({ENTROPY: origin}, *arg_taints)
+            tail = dotted.rsplit(".", 1)[-1]
+            if tail in _SEED_SANITIZERS:
+                return {}
+            if tail in _ORDER_SAFE_CALLS:
+                combined = _merge({}, *arg_taints)
+                receiver_taint = (
+                    self.eval(func.value)
+                    if isinstance(func, ast.Attribute)
+                    else {}
+                )
+                return _without_order(_merge(combined, receiver_taint))
+
+        # Project-resolved callees: apply summaries.
+        candidates = self.model.resolve_call(
+            func, self.module, self.info.cls
+        )
+        if candidates:
+            result: Taint = {}
+            for qname in candidates:
+                info = self.model.functions[qname]
+                summary = self.summaries.get(qname)
+                if summary is None:
+                    continue
+                offset = (
+                    1
+                    if info.cls is not None
+                    and isinstance(func, ast.Attribute)
+                    else 0
+                )
+                self._apply_call_sinks(node, info, summary, offset)
+                if info.is_generator:
+                    # Calling a generator returns the generator object;
+                    # its yields are analyzed where they happen.
+                    continue
+                for token, origin in summary.ret.items():
+                    if isinstance(token, int):
+                        arg = self._argument_for(node, info, token, offset)
+                        if arg is not None:
+                            _merge(result, self.eval(arg))
+                    else:
+                        result.setdefault(
+                            token, f"value returned by {info.name}() "
+                            f"({origin})"
+                        )
+            return result
+
+        # Unknown callee: conservative propagation through receiver
+        # and arguments (str.join of a set is still unordered).
+        receiver_taint = (
+            self.eval(func.value) if isinstance(func, ast.Attribute) else {}
+        )
+        return _merge({}, receiver_taint, *arg_taints)
+
+    def _argument_for(
+        self,
+        call: ast.Call,
+        info: FunctionInfo,
+        param_index: int,
+        offset: int,
+    ) -> Optional[ast.AST]:
+        """The call argument feeding ``info``'s parameter, if present."""
+        position = param_index - offset
+        if 0 <= position < len(call.args):
+            arg = call.args[position]
+            return None if isinstance(arg, ast.Starred) else arg
+        if 0 <= param_index < len(info.params):
+            wanted = info.params[param_index]
+            for keyword in call.keywords:
+                if keyword.arg == wanted:
+                    return keyword.value
+        return None
+
+    def _apply_call_sinks(
+        self,
+        call: ast.Call,
+        info: FunctionInfo,
+        summary: Summary,
+        offset: int,
+    ) -> None:
+        """Fire/forward the callee's parameter sinks at this call site."""
+        for param_index, rules in summary.sinks.items():
+            arg = self._argument_for(call, info, param_index, offset)
+            if arg is None:
+                continue
+            taint = self.eval(arg)
+            for rule, detail in rules.items():
+                concrete = ENTROPY if rule == "FLOW002" else UNORDERED
+                if concrete in taint:
+                    self._finding(
+                        rule,
+                        call,
+                        f"argument {ast.unparse(arg)!r} to {info.name}() "
+                        f"carries {taint[concrete]} and reaches {detail}",
+                    )
+                for token in taint:
+                    if isinstance(token, int):
+                        self.changed |= self.summary.merge_sink(
+                            token, rule, f"{detail} (via {info.name}())"
+                        )
+
+    # ------------------------------------------------------------------
+    # Sinks
+    # ------------------------------------------------------------------
+
+    def _finding(self, rule: str, node: ast.AST, message: str) -> None:
+        if not self.collect:
+            return
+        self.findings.append(
+            FlowFinding(
+                rule=rule,
+                path=self.info.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    def _sink_hit(
+        self, node: ast.AST, taint: Taint, rule: str, detail: str
+    ) -> None:
+        """Concrete taint fires a finding; parameter taint becomes a
+        summary sink so callers fire at their call sites."""
+        concrete = ENTROPY if rule == "FLOW002" else UNORDERED
+        if concrete in taint:
+            self._finding(rule, node, f"{taint[concrete]} reaches {detail}")
+        for token in taint:
+            if isinstance(token, int):
+                self.changed |= self.summary.merge_sink(token, rule, detail)
+
+    def _check_value_sinks(
+        self, node: ast.AST, taint: Taint, unordered_detail: str,
+        unordered_rule: str,
+    ) -> None:
+        if UNORDERED in taint or any(
+            isinstance(t, int) for t in taint
+        ):
+            self._sink_hit(node, taint, unordered_rule, unordered_detail)
+        if ENTROPY in taint or any(isinstance(t, int) for t in taint):
+            self._sink_hit(
+                node,
+                taint,
+                "FLOW002",
+                f"{unordered_detail} without passing derive_seed()",
+            )
+
+    def _scan_sinks(self) -> None:
+        for node in self._nodes:
+            if isinstance(node, ast.Yield) and node.value is not None:
+                taint = self.eval(node.value)
+                self._check_value_sinks(
+                    node,
+                    taint,
+                    "a yielded outbox — message emission order",
+                    "FLOW001",
+                )
+            elif isinstance(node, ast.Call):
+                self._scan_call_sink(node)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                self.changed |= self.summary.merge_ret(
+                    self.eval(node.value)
+                )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self._scan_loop_sink(node)
+
+    def _scan_call_sink(self, node: ast.Call) -> None:
+        name = _call_name(node.func)
+        if name is None:
+            return
+        arg_nodes = list(node.args) + [k.value for k in node.keywords]
+        if name == "Message":
+            for arg in arg_nodes:
+                taint = self.eval(arg)
+                self._check_value_sinks(
+                    node,
+                    taint,
+                    "a Message payload",
+                    "FLOW001",
+                )
+            return
+        is_record = (
+            isinstance(node.func, ast.Attribute)
+            and name in _RECORD_METHODS
+        )
+        is_save = name.startswith("save_")
+        if not (is_record or is_save):
+            return
+        detail = (
+            f"the {name}() telemetry/trace record"
+            if is_record
+            else f"the {name}() persisted payload"
+        )
+        for arg in arg_nodes:
+            taint = self.eval(arg)
+            self._check_value_sinks(node, taint, detail, "FLOW003")
+
+    def _scan_loop_sink(self, node: ast.AST) -> None:
+        iter_node = node.iter  # type: ignore[attr-defined]
+        taint = self.eval(iter_node)
+        # FLOW004 bookkeeping: statement loops over set-typed attributes.
+        if isinstance(iter_node, ast.Attribute):
+            if iter_node.attr in self.model.set_attr_names:
+                self.attr_loops.append((iter_node.attr, node))
+        if UNORDERED not in taint and not any(
+            isinstance(t, int) for t in taint
+        ):
+            return
+        emission = False
+        recording: Optional[str] = None
+        for inner in _scope_statements(node.body):  # type: ignore[attr-defined]
+            if isinstance(inner, (ast.Yield, ast.YieldFrom)):
+                emission = True
+            elif isinstance(inner, ast.Call):
+                inner_name = _call_name(inner.func)
+                if inner_name == "Message":
+                    emission = True
+                elif (
+                    isinstance(inner.func, ast.Attribute)
+                    and inner_name in _RECORD_METHODS
+                ):
+                    recording = inner_name
+                elif inner_name is not None and inner_name.startswith(
+                    "save_"
+                ):
+                    recording = inner_name
+        try:
+            iter_text = ast.unparse(iter_node)
+        except Exception:  # pragma: no cover - unparse is total on 3.9+
+            iter_text = "<expr>"
+        if emission:
+            self._sink_hit(
+                node,
+                taint,
+                "FLOW001",
+                f"message emission ordered by iterating {iter_text!r}",
+            )
+            if ENTROPY in taint:
+                self._sink_hit(
+                    node,
+                    taint,
+                    "FLOW002",
+                    f"message emission ordered by iterating {iter_text!r}",
+                )
+        if recording is not None:
+            self._sink_hit(
+                node,
+                taint,
+                "FLOW003",
+                f"{recording}() records ordered by iterating {iter_text!r}",
+            )
+
+
+def analyze_project(
+    sources: Sequence[Tuple[str, ast.Module]],
+) -> List[FlowFinding]:
+    """Run the interprocedural analysis; findings sorted and deduped."""
+    model = ProjectModel.build(sources)
+    summaries: Dict[str, Summary] = {
+        qname: Summary() for qname in model.functions
+    }
+    order = sorted(model.functions)
+    # Fixpoint over summaries: rerun every function until no summary
+    # grows (the lattice is finite, so this terminates; the cap is a
+    # safety net, not a correctness requirement).
+    for _ in range(_MAX_GLOBAL_ROUNDS):
+        changed = False
+        for qname in order:
+            pass_ = _FunctionPass(
+                model.functions[qname], model, summaries, collect=False
+            )
+            pass_.run()
+            changed |= pass_.changed
+        if not changed:
+            break
+    # Collection pass with converged summaries.
+    findings: List[FlowFinding] = []
+    iterated_attrs: Set[str] = set()
+    iteration_sites: Dict[str, Tuple[str, int]] = {}
+    for qname in order:
+        pass_ = _FunctionPass(
+            model.functions[qname], model, summaries, collect=True
+        )
+        pass_.run()
+        findings.extend(pass_.findings)
+        for attr, site in pass_.attr_loops:
+            iterated_attrs.add(attr)
+            iteration_sites.setdefault(
+                attr,
+                (
+                    model.functions[qname].path,
+                    getattr(site, "lineno", 1),
+                ),
+            )
+    # FLOW004: flag the *declaration* of every set-typed attribute some
+    # statement loop iterates.
+    for (cls_qname, attr), (path, line, col) in sorted(
+        model.set_attr_decls.items()
+    ):
+        if attr not in iterated_attrs:
+            continue
+        where = iteration_sites[attr]
+        findings.append(
+            FlowFinding(
+                rule="FLOW004",
+                path=path,
+                line=line,
+                col=col,
+                message=(
+                    f"set-typed attribute {attr!r} of "
+                    f"{cls_qname.rsplit('.', 1)[-1]} is iterated by a "
+                    f"loop ({where[0]}:{where[1]}) — unordered iteration "
+                    f"escapes the class; use a sorted list or an "
+                    f"insertion-ordered dict"
+                ),
+            )
+        )
+    unique = {
+        (f.rule, f.path, f.line, f.col, f.message): f for f in findings
+    }
+    return sorted(
+        unique.values(), key=lambda f: (f.path, f.line, f.col, f.rule)
+    )

@@ -1,37 +1,46 @@
-"""Report formatting for the analyzer: text and JSON.
+"""Report formatting for the analyzer: text, JSON, and SARIF.
 
-Both formats render the same :class:`~repro.lint.violations.LintReport`
+All formats render the same :class:`~repro.lint.violations.LintReport`
 payload; JSON is what the CI gate consumes (``repro-asm lint --format
-json``), text is for humans.
+json``), SARIF is what GitHub code scanning ingests (``--format
+sarif``), text is for humans.
 """
 
 from __future__ import annotations
 
 import json
-from typing import List
+from typing import Any, Dict, List
 
 from repro.lint.violations import LintReport
 
-__all__ = ["format_text", "format_json"]
+__all__ = ["format_text", "format_json", "format_sarif"]
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def format_text(report: LintReport) -> str:
     """Human-readable report: one line per violation plus a summary."""
     lines: List[str] = [v.format() for v in sorted(report.violations)]
     counts = report.by_rule()
+    baseline_note = (
+        f", {report.baselined} baselined" if report.baselined else ""
+    )
     if counts:
         breakdown = ", ".join(f"{rule}: {n}" for rule, n in counts.items())
         lines.append("")
         lines.append(
             f"{len(report.violations)} violation(s) in "
             f"{report.files_scanned} file(s) ({breakdown}); "
-            f"{report.suppressed} suppressed"
+            f"{report.suppressed} suppressed{baseline_note}"
         )
     else:
         lines.append(
             f"ok: {report.files_scanned} file(s), "
             f"{len(report.rules_run)} rule(s), "
-            f"{report.suppressed} suppression(s)"
+            f"{report.suppressed} suppression(s){baseline_note}"
         )
     return "\n".join(lines)
 
@@ -39,3 +48,72 @@ def format_text(report: LintReport) -> str:
 def format_json(report: LintReport) -> str:
     """The JSON payload the CI lint gate consumes."""
     return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def format_sarif(report: LintReport) -> str:
+    """A SARIF 2.1.0 log for GitHub code-scanning annotations.
+
+    Every rule that ran is described in the tool's rule metadata (so
+    code scanning can render titles), and every violation becomes one
+    ``result`` with a physical location.
+    """
+    # Imported lazily: the engine imports nothing from reporters, but
+    # keeping the dependency one-way at import time avoids any cycle.
+    from repro.lint.engine import all_rules
+
+    descriptions: Dict[str, str] = {
+        rule.rule_id: rule.description for rule in all_rules()
+    }
+    descriptions.setdefault("E000", "File fails to parse (syntax error).")
+    rule_ids = sorted(
+        {v.rule for v in report.violations} | set(report.rules_run)
+    )
+    rules_meta = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": descriptions.get(rule_id, rule_id)
+            },
+        }
+        for rule_id in rule_ids
+    ]
+    index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results: List[Dict[str, Any]] = [
+        {
+            "ruleId": v.rule,
+            "ruleIndex": index[v.rule],
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": v.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(1, v.line),
+                            "startColumn": max(1, v.col + 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for v in sorted(report.violations)
+    ]
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

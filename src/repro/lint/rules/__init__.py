@@ -15,6 +15,11 @@ Families
 ``TEL``
     Telemetry hygiene: no wall-clock reads, ``print``, or direct file
     exports in library code (:mod:`repro.lint.rules.telemetry_hygiene`).
+``FLOW``
+    Interprocedural determinism flow: unordered iteration and unseeded
+    randomness must not reach emission/record/persistence sinks, even
+    across function and module boundaries
+    (:mod:`repro.lint.rules.flow_rules`, opt-in via ``--flow``).
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from repro.lint.rules import (  # noqa: F401
     bounded_message,
     congest_locality,
     determinism,
+    flow_rules,
     telemetry_hygiene,
 )
 
@@ -30,5 +36,6 @@ __all__ = [
     "bounded_message",
     "congest_locality",
     "determinism",
+    "flow_rules",
     "telemetry_hygiene",
 ]

@@ -1,0 +1,127 @@
+"""Interprocedural determinism-flow rules (family ``FLOW``).
+
+Whole-program rules backed by :mod:`repro.lint.flow`: one shared
+analysis run (memoized on source hashes) materializes findings, and
+each rule reports its slice through the ordinary violation pipeline,
+so scopes, suppressions, and the findings baseline work unchanged.
+
+``FLOW001``
+    An unordered value's iteration order reaches message emission — a
+    set (literal, call, parameter, attribute, or a value that flowed
+    through any number of calls) ordering a loop that constructs
+    :class:`~repro.congest.message.Message` objects, a yielded outbox,
+    or a Message payload.  This is the exact shape of the set-built
+    outbox bug the simulator once shipped: byte-stable traces held
+    serially and broke across worker processes.
+``FLOW002``
+    Unseeded/ambient randomness — the global ``random`` stream, an
+    unseeded ``random.Random()``, ``hash()``/``id()``, wall clocks,
+    ``os.environ`` — reaches a sink without being laundered through
+    :func:`repro.parallel.spec.derive_seed`.
+``FLOW003``
+    An unordered value's iteration order reaches a telemetry, trace,
+    or persistence sink (``emit``/``inc``/``observe``/``record``/
+    ``on_message`` calls, ``save_*`` payloads): the artifact's byte
+    layout then varies with ``PYTHONHASHSEED``.
+``FLOW004``
+    A set-typed class attribute is iterated by a statement loop
+    somewhere in the project; flagged at the declaration so the fix
+    (sorted list / insertion-ordered dict) happens where the structure
+    is chosen.
+
+The family is opt-in (``repro-asm lint --flow`` or ``flow = true`` in
+``[tool.repro-lint]``) because it parses and analyzes the whole
+program at once; see ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import ProjectRule, SourceFile, register
+from repro.lint.violations import Violation
+
+__all__ = [
+    "UnorderedEmissionFlowRule",
+    "UnseededRandomnessFlowRule",
+    "UnorderedRecordFlowRule",
+    "UnorderedAttributeRule",
+]
+
+
+def _project_findings(sources: Sequence[SourceFile]) -> List["object"]:
+    """The shared flow analysis for one source set, digest-memoized."""
+    from repro.lint.flow import (
+        analyze_project,
+        cached_findings,
+        digest_sources,
+        store_findings,
+    )
+
+    digest = digest_sources([(src.path, src.text) for src in sources])
+    findings = cached_findings(digest)
+    if findings is None:
+        findings = analyze_project([(src.path, src.tree) for src in sources])
+        store_findings(digest, findings)
+    return findings
+
+
+class _FlowRule(ProjectRule):
+    """Common reporting plumbing for the FLOW family."""
+
+    family = "FLOW"
+    scope = "flow"
+
+    def check_project(
+        self, sources: Sequence[SourceFile], config: LintConfig
+    ) -> Iterator[Violation]:
+        for finding in _project_findings(sources):
+            if finding.rule != self.rule_id:
+                continue
+            yield Violation(
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                rule=self.rule_id,
+                message=finding.message,
+            )
+
+
+@register
+class UnorderedEmissionFlowRule(_FlowRule):
+    rule_id = "FLOW001"
+    description = (
+        "Unordered iteration (set-derived, possibly through calls) "
+        "orders message emission — traces become "
+        "PYTHONHASHSEED-dependent; sort or canonicalize first."
+    )
+
+
+@register
+class UnseededRandomnessFlowRule(_FlowRule):
+    rule_id = "FLOW002"
+    description = (
+        "Unseeded/ambient randomness (global random.*, hash(), clocks, "
+        "os.environ) reaches an emission/record sink without "
+        "derive_seed() laundering."
+    )
+
+
+@register
+class UnorderedRecordFlowRule(_FlowRule):
+    rule_id = "FLOW003"
+    description = (
+        "Unordered iteration orders telemetry/trace/persistence "
+        "records — saved artifacts stop being byte-stable."
+    )
+
+
+@register
+class UnorderedAttributeRule(_FlowRule):
+    rule_id = "FLOW004"
+    description = (
+        "Set-typed class attribute is iterated somewhere in the "
+        "project; declare a sorted list or insertion-ordered dict "
+        "instead."
+    )

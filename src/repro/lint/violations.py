@@ -48,6 +48,9 @@ class LintReport:
     files_scanned: int = 0
     rules_run: Tuple[str, ...] = ()
     suppressed: int = 0
+    # Findings matched by a committed baseline (accepted patterns):
+    # counted, not failing.  See repro.lint.baseline.
+    baselined: int = 0
 
     @property
     def ok(self) -> bool:
@@ -68,6 +71,7 @@ class LintReport:
             "files_scanned": self.files_scanned,
             "rules_run": list(self.rules_run),
             "suppressed": self.suppressed,
+            "baselined": self.baselined,
             "counts": self.by_rule(),
             "violations": [v.to_dict() for v in sorted(self.violations)],
         }

@@ -1,0 +1,190 @@
+"""Engine edge cases: suppression placement on decorated and
+multi-line statements, scope/exempt precedence, and syntax-error
+handling (reported as ``E000``, never a crash)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import LintConfig, run_lint
+from repro.lint.config import DEFAULT_EXEMPT, DEFAULT_SCOPES
+
+
+def _write(tmp_path: Path, relpath: str, source: str) -> Path:
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return target
+
+
+class TestSuppressionPlacement:
+    def test_multiline_statement_suppressed_at_violation_line(self, tmp_path):
+        # The violation anchors at the iterable inside the comprehension
+        # (line 5), not at the statement's first line; the suppression
+        # comment belongs there.
+        target = _write(
+            tmp_path,
+            "src/repro/core/m.py",
+            "def f(items):\n"
+            "    pool = set(items)\n"
+            "    return [\n"
+            "        x\n"
+            "        for x in pool  # lint: ignore[DET001]\n"
+            "    ]\n",
+        )
+        report = run_lint([target], LintConfig())
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_multiline_statement_first_line_comment_does_not_apply(
+        self, tmp_path
+    ):
+        # A comment on the statement's opening line does not cover a
+        # violation anchored three lines down — placement is per-line.
+        target = _write(
+            tmp_path,
+            "src/repro/core/m.py",
+            "def f(items):\n"
+            "    pool = set(items)\n"
+            "    return [  # lint: ignore[DET001]\n"
+            "        x\n"
+            "        for x in pool\n"
+            "    ]\n",
+        )
+        report = run_lint([target], LintConfig())
+        assert [v.rule for v in report.violations] == ["DET001"]
+        assert report.violations[0].line == 5
+
+    def test_suppression_inside_decorated_function(self, tmp_path):
+        # Decorators shift statement linenos; tokenize-based comment
+        # location must still pair the comment with the violating line.
+        target = _write(
+            tmp_path,
+            "src/repro/core/d.py",
+            "import functools\n"
+            "\n"
+            "@functools.lru_cache(maxsize=None)\n"
+            "def f(items):\n"
+            "    pool = frozenset(items)\n"
+            "    return [x for x in pool]  # lint: ignore[DET001]\n",
+        )
+        report = run_lint([target], LintConfig())
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_decorator_line_comment_does_not_leak_to_body(self, tmp_path):
+        target = _write(
+            tmp_path,
+            "src/repro/core/d.py",
+            "import functools\n"
+            "\n"
+            "@functools.lru_cache(maxsize=None)  # lint: ignore[DET001]\n"
+            "def f(items):\n"
+            "    pool = frozenset(items)\n"
+            "    return [x for x in pool]\n",
+        )
+        report = run_lint([target], LintConfig())
+        assert [v.rule for v in report.violations] == ["DET001"]
+
+    def test_suppression_marker_inside_string_is_ignored(self, tmp_path):
+        # The marker is found via tokenize, so a string literal that
+        # merely *contains* the marker text suppresses nothing.
+        target = _write(
+            tmp_path,
+            "src/repro/core/s.py",
+            "def f(items):\n"
+            "    pool = set(items)\n"
+            '    note = "lint: ignore[DET001]"\n'
+            "    return [x for x in pool], note\n",
+        )
+        report = run_lint([target], LintConfig())
+        assert [v.rule for v in report.violations] == ["DET001"]
+        assert report.suppressed == 0
+
+
+class TestScopePrecedence:
+    SNIPPET = (
+        "def f(items):\n"
+        "    pool = set(items)\n"
+        "    return [x for x in pool]\n"
+    )
+
+    def test_exempt_beats_scope_inclusion(self, tmp_path):
+        # The file is inside the scope's path set AND inside its exempt
+        # list; exemption wins.
+        target = _write(tmp_path, "src/repro/core/sub/e.py", self.SNIPPET)
+        config = LintConfig(
+            scopes={**DEFAULT_SCOPES, "determinism": ("src/repro/core",)},
+            exempt={**DEFAULT_EXEMPT, "determinism": ("src/repro/core/sub",)},
+        )
+        report = run_lint([target], config)
+        assert "DET001" not in [v.rule for v in report.violations]
+
+    def test_exempt_is_per_scope(self, tmp_path):
+        # Exempting a path for one scope must not exempt it for others.
+        config = LintConfig(
+            exempt={**DEFAULT_EXEMPT, "library": ("src/repro/core",)}
+        )
+        target = _write(tmp_path, "src/repro/core/e.py", self.SNIPPET)
+        report = run_lint([target], config)
+        assert "DET001" in [v.rule for v in report.violations]
+
+    def test_exempt_file_entry_matches_exact_file(self, tmp_path):
+        config = LintConfig(
+            exempt={
+                **DEFAULT_EXEMPT,
+                "determinism": ("src/repro/core/skipme.py",),
+            }
+        )
+        skipped = _write(tmp_path, "src/repro/core/skipme.py", self.SNIPPET)
+        kept = _write(tmp_path, "src/repro/core/keepme.py", self.SNIPPET)
+        report = run_lint([skipped, kept], config)
+        assert [v.path for v in report.violations if v.rule == "DET001"] == [
+            kept.as_posix()
+        ]
+
+
+class TestSyntaxErrors:
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        target = _write(
+            tmp_path,
+            "src/repro/core/broken.py",
+            "def f(:\n    pass\n",
+        )
+        report = run_lint([target], LintConfig())
+        assert [v.rule for v in report.violations] == ["E000"]
+        violation = report.violations[0]
+        assert violation.path == target.as_posix()
+        assert violation.line >= 1
+        assert "syntax error" in violation.message
+        assert report.files_scanned == 1
+
+    def test_broken_file_does_not_block_others(self, tmp_path):
+        _write(tmp_path, "src/repro/core/broken.py", "while True\n")
+        _write(
+            tmp_path,
+            "src/repro/core/fine.py",
+            TestScopePrecedence.SNIPPET,
+        )
+        report = run_lint([tmp_path / "src"], LintConfig())
+        rules = sorted(v.rule for v in report.violations)
+        assert rules == ["DET001", "E000"]
+
+    def test_broken_file_does_not_break_flow_analysis(self, tmp_path):
+        # Project rules analyze every *parseable* file; a syntax error
+        # surfaces as E000 while the flow pass still runs on the rest.
+        _write(tmp_path, "src/repro/core/broken.py", "def f(:\n")
+        _write(
+            tmp_path,
+            "src/repro/congest/protocols/p.py",
+            "from repro.congest.message import Message\n"
+            "\n"
+            "def propose(graph, v):\n"
+            "    active = set(graph[v])\n"
+            "    inbox = yield {u: Message('PROPOSE') for u in active}\n"
+            "    return inbox\n",
+        )
+        report = run_lint([tmp_path / "src"], LintConfig(flow=True))
+        rules = {v.rule for v in report.violations}
+        assert "E000" in rules
+        assert "FLOW001" in rules

@@ -252,8 +252,92 @@ class TestCLI:
         code = main(["lint", "--list-rules"])
         assert code == 0
         out = capsys.readouterr().out
-        for rule_id in ("CONGEST001", "MSG001", "DET001", "TEL001"):
+        for rule_id in (
+            "CONGEST001", "MSG001", "DET001", "TEL001", "TEL004", "FLOW001"
+        ):
             assert rule_id in out
+
+    def test_list_rules_marks_flow_disabled_without_flag(self, capsys):
+        main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        flow_lines = [l for l in out.splitlines() if "FLOW001" in l]
+        assert flow_lines and flow_lines[0].startswith("-")
+        main(["lint", "--flow", "--list-rules"])
+        out = capsys.readouterr().out
+        flow_lines = [l for l in out.splitlines() if "FLOW001" in l]
+        assert flow_lines and not flow_lines[0].startswith("-")
+
+    FLOW_SNIPPET = (
+        "from repro.congest.message import Message\n"
+        "\n"
+        "def _eligible(graph, v):\n"
+        "    return set(graph[v])\n"
+        "\n"
+        "def node_program(graph, v):\n"
+        "    active = _eligible(graph, v)\n"
+        "    inbox = yield {u: Message('PROPOSE') for u in active}\n"
+        "    return inbox\n"
+    )
+
+    def test_flow_flag_enables_interprocedural_analysis(
+        self, tmp_path, capsys
+    ):
+        target = _write(
+            tmp_path, "src/repro/congest/protocols/p.py", self.FLOW_SNIPPET
+        )
+        # Without --flow the finding needs whole-program reasoning the
+        # per-file rules don't attempt.
+        assert main(["lint", str(target), "--format", "json"]) == 0
+        capsys.readouterr()
+        code = main(["lint", str(target), "--flow", "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert any(v["rule"] == "FLOW001" for v in payload["violations"])
+
+    def test_sarif_format(self, tmp_path, capsys):
+        target = _write(tmp_path, "src/repro/core/bad.py", DET_SNIPPET)
+        code = main(["lint", str(target), "--format", "sarif"])
+        assert code == 1
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        results = run["results"]
+        assert any(r["ruleId"] == "DET001" for r in results)
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {r["ruleId"] for r in results} <= rule_ids
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+    def test_baseline_update_then_pass(self, tmp_path, capsys):
+        target = _write(
+            tmp_path, "src/repro/congest/protocols/p.py", self.FLOW_SNIPPET
+        )
+        baseline = tmp_path / "baseline.json"
+        code = main(
+            [
+                "lint", str(target), "--flow",
+                "--baseline", str(baseline), "--update-baseline",
+            ]
+        )
+        assert code == 0
+        assert "accepted" in capsys.readouterr().out
+        code = main(
+            [
+                "lint", str(target), "--flow",
+                "--baseline", str(baseline), "--format", "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["baselined"] >= 1
+
+    def test_update_baseline_requires_baseline_path(self, tmp_path, capsys):
+        target = _write(tmp_path, "src/repro/core/bad.py", DET_SNIPPET)
+        code = main(["lint", str(target), "--update-baseline"])
+        assert code == 2
+        assert "requires --baseline" in capsys.readouterr().err
 
 
 class TestSimulatorCrossReference:

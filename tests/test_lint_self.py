@@ -232,6 +232,75 @@ def test_family_accepts_clean_fixture(
     )
 
 
+# ----------------------------------------------------------------------
+# The FLOW family is opt-in, so it gets its own fixture pass with
+# flow=True instead of riding the FIXTURES parametrization.
+# ----------------------------------------------------------------------
+
+FLOW_VIOLATING = '''\
+import random
+
+from repro.congest.message import Message
+
+
+def _eligible(graph, v):
+    return set(graph[v])
+
+
+def node_program(graph, v):
+    active = _eligible(graph, v)
+    inbox = yield {u: Message("PROPOSE") for u in active}
+    jitter = random.random()
+    yield {u: Message("POINT", jitter) for u in sorted(inbox)}
+'''
+
+FLOW_CLEAN = '''\
+from repro.congest.message import Message
+from repro.parallel.spec import derive_seed
+
+
+def _eligible(graph, v):
+    return sorted(set(graph[v]))
+
+
+def node_program(graph, v, seed):
+    active = _eligible(graph, v)
+    token = derive_seed(seed, v)
+    inbox = yield {u: Message("PROPOSE") for u in active}
+    yield {u: Message("POINT", token) for u in sorted(inbox)}
+'''
+
+
+def test_flow_family_registered():
+    assert "FLOW" in rule_families()
+
+
+def test_flow_family_detects_seeded_violations(tmp_path):
+    target = tmp_path / "src/repro/congest/protocols/fixture_flow.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(FLOW_VIOLATING)
+    report = run_lint([target], LintConfig(flow=True))
+    fired = {v.rule for v in report.violations}
+    assert {"FLOW001", "FLOW002"} <= fired, sorted(fired)
+
+
+def test_flow_family_accepts_clean_fixture(tmp_path):
+    target = tmp_path / "src/repro/congest/protocols/fixture_flow.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(FLOW_CLEAN)
+    report = run_lint([target], LintConfig(flow=True))
+    flow = [v for v in report.violations if v.rule.startswith("FLOW")]
+    assert flow == [], "\n".join(v.format() for v in flow)
+
+
+def test_flow_family_is_opt_in_under_repo_config():
+    """The repo pyproject leaves FLOW off for plain runs (CI opts in
+    with --flow); the per-file families stay on."""
+    config = _repo_config()
+    assert not config.rule_enabled("FLOW001", "FLOW")
+    assert config.rule_enabled("DET001", "DET")
+
+
 def test_det003_exempts_the_parallel_package(tmp_path):
     """repro.parallel is the sanctioned home for process pools: the
     same source that fires DET003 elsewhere is exempt there."""

@@ -23,9 +23,9 @@ from repro.workloads.generators import (
 class TestScale:
     def test_asm_complete_512(self):
         prefs = complete_uniform(512, seed=0)
-        t0 = time.time()
+        t0 = time.perf_counter()
         run = asm(prefs, 0.2)
-        elapsed = time.time() - t0
+        elapsed = time.perf_counter() - t0
         assert instability(prefs, run.matching) <= 0.2
         assert len(run.matching) == 512
         assert elapsed < 30.0  # generous CI budget; ~2-4s locally
