@@ -23,6 +23,11 @@ Subcommands
 ``profile``
     Run an ASM variant with the deterministic phase profiler (and an
     optional ε-stability SLO) and print the op-count summary.
+``dynamic``
+    Drive the online dynamic matching engine over seeded churn streams
+    of arrivals, departures, and preference edits; localized repair
+    with a full-ASM SLO fallback keeps ε within target after every
+    delta (see ``docs/dynamic.md``).
 
 Telemetry
 ---------
@@ -277,7 +282,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         observer = MetricsObserver(telemetry)
 
-    t0 = time.time()
+    t0 = time.perf_counter()
     rows: List[Dict[str, Any]] = []
     if args.algorithm == "asm":
         result = asm(prefs, args.eps, observer=observer, telemetry=telemetry)
@@ -298,7 +303,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             telemetry.metrics.inc("gs.proposals", gs.proposals)
             telemetry.metrics.inc("gs.rounds", gs.rounds)
             telemetry.metrics.set_gauge("gs.matching_size", rep.matching_size)
-            telemetry.metrics.set_gauge("run.wall_seconds", time.time() - t0)
+            telemetry.metrics.set_gauge("run.wall_seconds", time.perf_counter() - t0)
         _export_telemetry(args, telemetry)
         rows.append(
             {
@@ -307,7 +312,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "blocking_pairs": rep.blocking_pairs,
                 "instability": rep.instability,
                 "proposals": gs.proposals,
-                "seconds": time.time() - t0,
+                "seconds": time.perf_counter() - t0,
             }
         )
         print(format_table(rows, title=f"{args.workload} n={args.n}"))
@@ -319,7 +324,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             telemetry.metrics.inc("gs.proposals", gs.proposals)
             telemetry.metrics.inc("gs.rounds", gs.rounds)
             telemetry.metrics.set_gauge("gs.matching_size", rep.matching_size)
-            telemetry.metrics.set_gauge("run.wall_seconds", time.time() - t0)
+            telemetry.metrics.set_gauge("run.wall_seconds", time.perf_counter() - t0)
         _export_telemetry(args, telemetry)
         rows.append(
             {
@@ -328,7 +333,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "blocking_pairs": rep.blocking_pairs,
                 "instability": rep.instability,
                 "rounds": gs.rounds,
-                "seconds": time.time() - t0,
+                "seconds": time.perf_counter() - t0,
             }
         )
         print(format_table(rows, title=f"{args.workload} n={args.n}"))
@@ -336,7 +341,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:  # pragma: no cover - argparse restricts choices
         raise AssertionError(args.algorithm)
     if telemetry is not None:
-        telemetry.metrics.set_gauge("run.wall_seconds", time.time() - t0)
+        telemetry.metrics.set_gauge("run.wall_seconds", time.perf_counter() - t0)
         telemetry.metrics.inc("asm.rounds_active", result.rounds_active)
         telemetry.metrics.inc("asm.rounds_scheduled", result.rounds_scheduled)
     _export_telemetry(args, telemetry)
@@ -360,7 +365,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "bad_men": len(result.bad_men),
             "rounds_active": result.rounds_active,
             "rounds_scheduled": result.rounds_scheduled,
-            "seconds": time.time() - t0,
+            "seconds": time.perf_counter() - t0,
         }
     )
     print(
@@ -421,7 +426,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     documents: List[Dict[str, Any]] = []
     for name in names:
         kwargs = _QUICK_OVERRIDES.get(name, {}) if args.quick else {}
-        t0 = time.time()
+        t0 = time.perf_counter()
         result = run_experiment(name, pool=pool, **kwargs)
         if args.json:
             documents.append(result.to_dict())
@@ -430,7 +435,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print()
         else:
             print(result.table())
-            print(f"elapsed: {time.time() - t0:.1f}s")
+            print(f"elapsed: {time.perf_counter() - t0:.1f}s")
             print()
         all_passed = all_passed and result.passed
     if args.json:
@@ -495,7 +500,7 @@ def _cmd_congest(args: argparse.Namespace) -> int:
     if telemetry is not None and telemetry.manifest is not None \
             and plan is not None:
         telemetry.manifest.record_fault_plan(plan)
-    t0 = time.time()
+    t0 = time.perf_counter()
     fault_trace: List[Dict[str, Any]] = []
     fault_row: Dict[str, Any] = {}
     if args.protocol == "gale-shapley":
@@ -554,7 +559,7 @@ def _cmd_congest(args: argparse.Namespace) -> int:
             }
     rep = stability_report(prefs, matching)
     if telemetry is not None:
-        telemetry.metrics.set_gauge("run.wall_seconds", time.time() - t0)
+        telemetry.metrics.set_gauge("run.wall_seconds", time.perf_counter() - t0)
         telemetry.metrics.set_gauge("congest.matching_size", rep.matching_size)
         telemetry.metrics.set_gauge("congest.max_message_bits",
                                     stats.max_message_bits)
@@ -585,7 +590,7 @@ def _cmd_congest(args: argparse.Namespace) -> int:
         "max_msg_bits": stats.max_message_bits,
     }
     row.update(fault_row)
-    row["seconds"] = time.time() - t0
+    row["seconds"] = time.perf_counter() - t0
     print(
         format_table(
             [row],
@@ -754,7 +759,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             "error: --slo-deadline requires --slo-eps", file=sys.stderr
         )
         return 2
-    t0 = time.time()
+    t0 = time.perf_counter()
     if args.algorithm == "asm":
         result = asm(prefs, args.eps, observer=monitor, telemetry=telemetry)
     elif args.algorithm == "rand-asm":
@@ -767,7 +772,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             prefs, args.eps, seed=args.seed,
             observer=monitor, telemetry=telemetry,
         )
-    wall = time.time() - t0
+    wall = time.perf_counter() - t0
     rep = stability_report(prefs, result.matching)
     summary = profiler.deterministic_summary()
 
@@ -840,6 +845,105 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    """Run seeded churn trials of the online dynamic matching engine."""
+    import json
+
+    from repro.dynamic.harness import (
+        DYNAMIC_TRIAL_RUNNER,
+        merge_dynamic_trials,
+    )
+    from repro.parallel.spec import TrialSpec, derive_seed
+
+    t0 = time.perf_counter()
+    extra: Dict[str, Any] = {
+        "churn_steps": args.churn_steps,
+        "repair_radius": args.repair_radius,
+        "arrival_weight": args.arrival_weight,
+        "departure_weight": args.departure_weight,
+        "edge_weight": args.edge_weight,
+        "swap_weight": args.swap_weight,
+    }
+    if args.slo_eps is not None:
+        extra["slo_eps"] = args.slo_eps
+    if args.repair_passes is not None:
+        extra["repair_passes"] = args.repair_passes
+    specs = [
+        TrialSpec.make(
+            DYNAMIC_TRIAL_RUNNER,
+            algorithm="dynamic",
+            workload=args.workload,
+            n=args.n,
+            eps=args.eps,
+            seed=args.seed,
+            churn_seed=derive_seed(args.seed, "churn", index),
+            trial=index,
+            **extra,
+        )
+        for index in range(args.trials)
+    ]
+    telemetry = _telemetry_for(
+        args,
+        "dynamic",
+        {
+            "churn_steps": args.churn_steps,
+            "slo_eps": args.slo_eps,
+            "repair_radius": args.repair_radius,
+            "trials": args.trials,
+        },
+    )
+    results = TrialPool(workers=args.workers, telemetry=telemetry).run(specs)
+    merged = merge_dynamic_trials(results)
+    wall = time.perf_counter() - t0
+    if telemetry is not None:
+        telemetry.metrics.set_gauge("run.wall_seconds", wall)
+        telemetry.metrics.set_gauge("dynamic.deltas", merged["deltas"])
+        telemetry.metrics.set_gauge("dynamic.fallbacks", merged["fallbacks"])
+        telemetry.metrics.set_gauge("dynamic.marriages", merged["marriages"])
+        telemetry.metrics.set_gauge("dynamic.worst_eps", merged["worst_eps"])
+    _export_telemetry(args, telemetry)
+    if args.json:
+        # Deterministic document: no wall-clock fields, so any
+        # --workers N produces byte-identical output.
+        print(json.dumps(merged, indent=2, sort_keys=True))
+        return 0 if merged["eps_ok"] else 1
+    rows = [
+        {
+            "trial": t["trial"],
+            "deltas": t["deltas"],
+            "fallbacks": t["fallbacks"],
+            "marriages": t["marriages"],
+            "final_eps": round(t["final_eps"], 4),
+            "worst_eps": round(t["worst_eps"], 4),
+            "matched": t["matching_size"],
+            "slo": "ok" if t["eps_ok"] else "VIOLATED",
+        }
+        for t in merged["trials"]
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                f"dynamic engine: {args.trials} churn trial(s), "
+                f"workload={args.workload} n={args.n} eps={args.eps}"
+            ),
+        )
+    )
+    target = args.slo_eps if args.slo_eps is not None else args.eps
+    print(
+        f"{merged['deltas']} deltas, {merged['fallbacks']} fallbacks, "
+        f"worst eps {merged['worst_eps']:.4f} "
+        f"(SLO target {target}), wall {wall:.2f}s"
+    )
+    if not merged["eps_ok"]:
+        print(
+            "FAIL: a trial breached the SLO target after a delta",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _git_rev() -> str:
     """Short git revision of the working tree, or ``"dev"``."""
     import subprocess
@@ -852,7 +956,10 @@ def _git_rev() -> str:
             check=True,
             timeout=10,
         )
-    except Exception:
+    except (OSError, subprocess.SubprocessError):
+        # git missing / not a repo / timeout — anything else (a
+        # programming error) propagates instead of masquerading as
+        # a "dev" build.
         return "dev"
     rev = proc.stdout.strip()
     return rev if rev else "dev"
@@ -903,10 +1010,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"{ivo['speedup']:.1f}x speedup, "
         f"agreement={'exact' if ivo['agree'] else 'BROKEN'}"
     )
+    dvf = report["dynamic_vs_full"]
+    print(
+        f"dynamic vs full re-run (n={dvf['n']}, {dvf['deltas']} deltas): "
+        f"{dvf['per_delta_incremental_seconds'] * 1e3:.3f}ms/delta "
+        f"incremental vs {dvf['per_delta_full_seconds'] * 1e3:.1f}ms/delta "
+        f"full ASM = {dvf['speedup_per_delta']:.1f}x speedup, "
+        f"fallbacks={dvf['fallbacks']}, "
+        f"eps_ok={'yes' if dvf['eps_ok'] else 'NO'}, "
+        f"index={'exact' if dvf['index_agrees'] else 'BROKEN'}"
+    )
     print(f"wrote {out}", file=sys.stderr)
     if not ivo["agree"]:
         print(
             "FAIL: incremental index disagrees with the full-scan oracle",
+            file=sys.stderr,
+        )
+        return 1
+    if not dvf["index_agrees"] or not dvf["eps_ok"]:
+        print(
+            "FAIL: dynamic engine broke its stability contract "
+            "(see dynamic_vs_full in the report)",
             file=sys.stderr,
         )
         return 1
@@ -1201,6 +1325,66 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the profile summary (and SLO "
                         "report) as JSON")
     prof_p.set_defaults(func=_cmd_profile)
+
+    dyn_p = sub.add_parser(
+        "dynamic",
+        help="run the online dynamic matching engine over seeded "
+        "churn streams (see docs/dynamic.md)",
+    )
+    dyn_p.add_argument("--workload", choices=sorted(GENERATORS),
+                       default="complete",
+                       help="starting-instance generator (default "
+                       "complete)")
+    dyn_p.add_argument("--n", type=int, default=64,
+                       help="starting-instance size (default 64)")
+    dyn_p.add_argument("--eps", type=_eps_arg, default=0.2,
+                       help="target instability: ASM parameter for the "
+                       "warm start and every fallback (default 0.2)")
+    dyn_p.add_argument("--seed", type=int, default=0,
+                       help="root seed: instance and per-trial churn "
+                       "seeds derive from it")
+    dyn_p.add_argument("--churn-steps", type=int, default=64,
+                       metavar="STEPS",
+                       help="deltas per trial (default 64)")
+    dyn_p.add_argument("--slo-eps", type=_rate_arg, default=None,
+                       metavar="EPS",
+                       help="fallback threshold: a full ASM re-run "
+                       "restores stability whenever post-repair eps "
+                       "exceeds this (default: --eps)")
+    dyn_p.add_argument("--repair-radius", type=int, default=2,
+                       metavar="HOPS",
+                       help="BFS hops around perturbed players the "
+                       "localized repair may touch (default 2; 0 "
+                       "disables repair)")
+    dyn_p.add_argument("--repair-passes", type=int, default=None,
+                       metavar="N",
+                       help="propose-accept pass budget per delta "
+                       "(default: ceil(8/eps), QuantileMatch's k)")
+    dyn_p.add_argument("--arrival-weight", type=float, default=1.0,
+                       metavar="W",
+                       help="relative draw weight of arrivals "
+                       "(default 1.0)")
+    dyn_p.add_argument("--departure-weight", type=float, default=1.0,
+                       metavar="W",
+                       help="relative draw weight of departures "
+                       "(default 1.0)")
+    dyn_p.add_argument("--edge-weight", type=float, default=4.0,
+                       metavar="W",
+                       help="relative draw weight of edge add/removes "
+                       "(default 4.0)")
+    dyn_p.add_argument("--swap-weight", type=float, default=4.0,
+                       metavar="W",
+                       help="relative draw weight of adjacent "
+                       "preference swaps (default 4.0)")
+    dyn_p.add_argument("--trials", type=int, default=1,
+                       help="independent churn trials (default 1)")
+    dyn_p.add_argument("--json", action="store_true",
+                       help="emit the merged trial document as JSON "
+                       "(deterministic: byte-identical for any "
+                       "--workers N)")
+    _add_workers_flag(dyn_p)
+    _add_telemetry_flags(dyn_p)
+    dyn_p.set_defaults(func=_cmd_dynamic)
 
     bench_p = sub.add_parser(
         "bench",

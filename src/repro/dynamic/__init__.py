@@ -1,0 +1,65 @@
+"""Online dynamic matching: incremental re-stabilization under churn.
+
+The static pipeline answers "given a market, find an ε-stable
+matching".  This package answers the production question on top of the
+ROADMAP's millions-of-users axis: "keep a *live* market ε-stable as
+players arrive, depart, and edit their preferences" — without paying a
+full ASM re-run per delta.
+
+* :mod:`repro.dynamic.market` — mutable preference state, O(deg) per
+  edit, freezable into a validated ``PreferenceProfile``.
+* :mod:`repro.dynamic.deltas` — the pickle/JSON-safe delta vocabulary.
+* :mod:`repro.dynamic.index` — the blocking-pair index extended to
+  structural deltas (exact ε after every delta).
+* :mod:`repro.dynamic.engine` — localized bounded-radius repair with a
+  full-ASM SLO fallback: after every delta, ε ≤ the SLO target.
+* :mod:`repro.dynamic.harness` — ``TrialSpec`` runner for sharded
+  churn trials (``repro-asm dynamic --workers N``).
+
+See ``docs/dynamic.md`` for the architecture and contracts.
+"""
+
+from repro.dynamic.deltas import (
+    AddEdge,
+    ArriveMan,
+    ArriveWoman,
+    Delta,
+    DepartMan,
+    DepartWoman,
+    RemoveEdge,
+    SwapManPrefs,
+    SwapWomanPrefs,
+    delta_from_dict,
+    delta_kind,
+    delta_to_dict,
+)
+from repro.dynamic.engine import DeltaOutcome, DynamicMatchingEngine
+from repro.dynamic.harness import (
+    DYNAMIC_TRIAL_RUNNER,
+    merge_dynamic_trials,
+    run_dynamic_trial,
+)
+from repro.dynamic.index import DynamicBlockingIndex
+from repro.dynamic.market import DynamicMarket
+
+__all__ = [
+    "AddEdge",
+    "ArriveMan",
+    "ArriveWoman",
+    "Delta",
+    "DeltaOutcome",
+    "DepartMan",
+    "DepartWoman",
+    "DynamicBlockingIndex",
+    "DynamicMarket",
+    "DynamicMatchingEngine",
+    "DYNAMIC_TRIAL_RUNNER",
+    "RemoveEdge",
+    "SwapManPrefs",
+    "SwapWomanPrefs",
+    "delta_from_dict",
+    "delta_kind",
+    "delta_to_dict",
+    "merge_dynamic_trials",
+    "run_dynamic_trial",
+]

@@ -1,0 +1,161 @@
+"""The delta vocabulary of the online matching engine.
+
+A churn stream is a list of these frozen dataclasses — plain ints and
+tuples only, so streams pickle across
+:class:`~repro.parallel.pool.TrialPool` worker boundaries and
+round-trip through JSON (:func:`delta_to_dict` /
+:func:`delta_from_dict`) for golden files and the CLI.
+
+Positions are explicit everywhere a list entry is inserted: a delta
+fully determines the post-state, so replaying a stream is
+deterministic with no generator in the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple, Union
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "AddEdge",
+    "RemoveEdge",
+    "SwapManPrefs",
+    "SwapWomanPrefs",
+    "ArriveMan",
+    "ArriveWoman",
+    "DepartMan",
+    "DepartWoman",
+    "Delta",
+    "delta_kind",
+    "delta_to_dict",
+    "delta_from_dict",
+]
+
+
+@dataclass(frozen=True)
+class AddEdge:
+    """Edge ``(man, woman)`` appears; each side slots it at a position."""
+
+    man: int
+    woman: int
+    man_pos: int
+    woman_pos: int
+
+
+@dataclass(frozen=True)
+class RemoveEdge:
+    """Edge ``(man, woman)`` disappears (divorcing the pair if matched)."""
+
+    man: int
+    woman: int
+
+
+@dataclass(frozen=True)
+class SwapManPrefs:
+    """Man ``man`` transposes positions ``pos`` and ``pos + 1``."""
+
+    man: int
+    pos: int
+
+
+@dataclass(frozen=True)
+class SwapWomanPrefs:
+    """Woman ``woman`` transposes positions ``pos`` and ``pos + 1``."""
+
+    woman: int
+    pos: int
+
+
+@dataclass(frozen=True)
+class ArriveMan:
+    """A new man arrives ranking ``prefs`` (best first).
+
+    ``positions[i]`` is the 0-based slot he takes in ``prefs[i]``'s
+    list.  His index is assigned densely on application.
+    """
+
+    prefs: Tuple[int, ...]
+    positions: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ArriveWoman:
+    """A new woman arrives ranking ``prefs`` (best first)."""
+
+    prefs: Tuple[int, ...]
+    positions: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class DepartMan:
+    """Man ``man`` departs; his index is tombstoned."""
+
+    man: int
+
+
+@dataclass(frozen=True)
+class DepartWoman:
+    """Woman ``woman`` departs; her index is tombstoned."""
+
+    woman: int
+
+
+Delta = Union[
+    AddEdge,
+    RemoveEdge,
+    SwapManPrefs,
+    SwapWomanPrefs,
+    ArriveMan,
+    ArriveWoman,
+    DepartMan,
+    DepartWoman,
+]
+
+_KINDS = {
+    "add_edge": AddEdge,
+    "remove_edge": RemoveEdge,
+    "swap_man_prefs": SwapManPrefs,
+    "swap_woman_prefs": SwapWomanPrefs,
+    "arrive_man": ArriveMan,
+    "arrive_woman": ArriveWoman,
+    "depart_man": DepartMan,
+    "depart_woman": DepartWoman,
+}
+_NAMES = {cls: name for name, cls in _KINDS.items()}
+
+
+def delta_kind(delta: Delta) -> str:
+    """The stable string tag of a delta (``"add_edge"``, ...)."""
+    try:
+        return _NAMES[type(delta)]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown delta type {type(delta).__name__!r}"
+        ) from None
+
+
+def delta_to_dict(delta: Delta) -> Dict[str, Any]:
+    """JSON-shaped form: ``{"kind": ..., <fields>}`` (tuples → lists)."""
+    doc: Dict[str, Any] = {"kind": delta_kind(delta)}
+    for field in delta.__dataclass_fields__:
+        value = getattr(delta, field)
+        doc[field] = list(value) if isinstance(value, tuple) else value
+    return doc
+
+
+def delta_from_dict(doc: Dict[str, Any]) -> Delta:
+    """Inverse of :func:`delta_to_dict`."""
+    kind = doc.get("kind")
+    cls = _KINDS.get(kind)
+    if cls is None:
+        raise InvalidParameterError(
+            f"unknown delta kind {kind!r}; expected one of {sorted(_KINDS)}"
+        )
+    kwargs = {
+        field: tuple(doc[field]) if isinstance(doc[field], list)
+        else doc[field]
+        for field in cls.__dataclass_fields__
+    }
+    return cls(**kwargs)

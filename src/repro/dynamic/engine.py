@@ -1,0 +1,465 @@
+"""Online dynamic matching engine: localized repair under churn.
+
+:class:`DynamicMatchingEngine` keeps a long-lived market ε-stable as
+deltas stream in.  Per delta it does three things:
+
+1. **Structural update** — apply the delta through the
+   :class:`~repro.dynamic.index.DynamicBlockingIndex`, which keeps the
+   blocking-pair set exact in O(deg), and collect the *dirty* players
+   the delta perturbed.
+2. **Localized repair** — run bounded, deterministic propose–accept
+   passes restricted to the radius-``repair_radius`` BFS neighborhood
+   of the dirty players.  "Almost Stable Matchings in Constant Time"
+   (Floréen et al.) shows stability quality is a local function of
+   propose–accept rounds, which is exactly why a bounded neighborhood
+   suffices for a bounded ε.  Unlike QuantileMatch the repair never
+   truncates preference lists — in an online market a rejected entry
+   can become relevant again after the next delta — so each pass is a
+   batched best-response step: every region man proposes to his
+   favorite in-region blocking partner, every proposed-to woman
+   accepts her best suitor (any suitor whose pair blocks beats her
+   current partner by definition).  Players displaced by a marriage
+   join the region, so the repair wavefront follows the actual
+   perturbation rather than the initial guess.
+3. **SLO enforcement** — ε = blocking_pairs / |E| is exact after
+   every delta (the index is exact, no sampling).  If repair leaves
+   ε above :attr:`StabilitySLO.target_eps`, the engine falls back to
+   a full ASM re-run on a frozen snapshot and adopts its matching.
+   The fallback is the safety net that turns a heuristic repair into
+   a guarantee: **after every delta, ε ≤ max(target_eps, full-ASM ε)**
+   — never worse than what re-running from scratch would certify.
+
+Every step is deterministic: regions are insertion-ordered dicts
+seeded from sorted dirty sets, proposal processing is men-ascending /
+women-ascending, and nothing reads a clock or an unseeded RNG — a
+replayed delta stream is bit-identical, which is what lets
+``TrialPool`` shard churn trials across workers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.asm import asm, params_for_eps
+from repro.core.matching import Matching, MutableMatching
+from repro.core.preferences import PreferenceProfile
+from repro.errors import InvalidParameterError
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.trace.slo import StabilitySLO
+
+from repro.dynamic.deltas import (
+    AddEdge,
+    ArriveMan,
+    ArriveWoman,
+    Delta,
+    DepartMan,
+    DepartWoman,
+    RemoveEdge,
+    SwapManPrefs,
+    SwapWomanPrefs,
+    delta_kind,
+)
+from repro.dynamic.index import DynamicBlockingIndex
+from repro.dynamic.market import DynamicMarket
+
+__all__ = ["DeltaOutcome", "DynamicMatchingEngine"]
+
+
+@dataclass(frozen=True)
+class DeltaOutcome:
+    """What one delta did to the market.
+
+    ``eps_after`` is the exact post-delta instability (after repair
+    and, when it ran, the fallback); ``region_men`` / ``region_women``
+    count the players the repair was allowed to touch.
+    """
+
+    seq: int
+    kind: str
+    region_men: int
+    region_women: int
+    repair_passes: int
+    marriages: int
+    eps_before: float
+    eps_after: float
+    blocking_pairs: int
+    fallback: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "region_men": self.region_men,
+            "region_women": self.region_women,
+            "repair_passes": self.repair_passes,
+            "marriages": self.marriages,
+            "eps_before": self.eps_before,
+            "eps_after": self.eps_after,
+            "blocking_pairs": self.blocking_pairs,
+            "fallback": self.fallback,
+        }
+
+
+class DynamicMatchingEngine:
+    """A live market re-stabilized incrementally after each delta.
+
+    Parameters
+    ----------
+    prefs:
+        The initial market (``None`` starts empty).
+    eps:
+        Target instability: the ASM approximation parameter for the
+        initial solve and every fallback, and (unless ``slo``
+        overrides it) the SLO threshold that triggers fallbacks.
+    repair_radius:
+        BFS hops around dirty players defining the repair region.
+        ``0`` disables localized repair (every delta leans on the SLO
+        net alone).
+    repair_passes:
+        Budget of batched propose–accept passes per delta; default
+        ``⌈8/eps⌉`` — the same ``k`` QuantileMatch derives from ε.
+    slo:
+        The objective enforced after every delta; default
+        ``StabilitySLO(target_eps=eps, deadline_rounds=0)``.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`; the engine emits
+        ``dynamic_delta`` / ``dynamic_fallback`` / ``slo_sample`` /
+        ``slo_violation`` events and profiler counts under
+        ``dynamic.*``.
+    warm_start:
+        Run a full ASM solve on the initial market (default).  With
+        ``False`` the engine starts from the empty matching and the
+        first deltas bear the stabilization cost.
+    auto_repair:
+        With ``False`` the engine applies structural deltas only — no
+        repair, no fallback.  This is the measurement control the
+        bench uses to replay a stream and time full re-runs against.
+
+    Examples
+    --------
+    >>> from repro.workloads.generators import complete_uniform
+    >>> from repro.dynamic.deltas import RemoveEdge
+    >>> engine = DynamicMatchingEngine(complete_uniform(6, seed=0), 0.5)
+    >>> outcome = engine.apply(RemoveEdge(man=0, woman=engine.index.man_partner(0)))
+    >>> engine.current_eps() <= 0.5
+    True
+    """
+
+    def __init__(
+        self,
+        prefs: Optional[PreferenceProfile],
+        eps: float,
+        *,
+        repair_radius: int = 2,
+        repair_passes: Optional[int] = None,
+        slo: Optional[StabilitySLO] = None,
+        telemetry: Optional[Telemetry] = None,
+        warm_start: bool = True,
+        auto_repair: bool = True,
+    ) -> None:
+        params_for_eps(eps)  # validates 0 < eps <= 1
+        if repair_radius < 0:
+            raise InvalidParameterError(
+                f"repair_radius must be >= 0, got {repair_radius}"
+            )
+        if repair_passes is not None and repair_passes < 1:
+            raise InvalidParameterError(
+                f"repair_passes must be >= 1, got {repair_passes}"
+            )
+        self.eps = eps
+        self.repair_radius = repair_radius
+        self.repair_passes = (
+            repair_passes
+            if repair_passes is not None
+            else math.ceil(8.0 / eps)
+        )
+        self.slo = slo or StabilitySLO(target_eps=eps, deadline_rounds=0)
+        self.auto_repair = auto_repair
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.market = DynamicMarket(prefs)
+        self.index = DynamicBlockingIndex(self.market)
+        self.matching = MutableMatching()
+        self.deltas_applied = 0
+        self.fallbacks = 0
+        self.marriages = 0
+        self.trajectory: List[Tuple[int, float]] = []
+        if self.telemetry.profiler is not None:
+            self.index.attach_profiler(self.telemetry.profiler)
+        if warm_start and self.market.num_edges:
+            self._full_restabilize()
+
+    # -- read access ---------------------------------------------------
+
+    def current_eps(self) -> float:
+        """Exact instability ε = blocking_pairs / |E| right now."""
+        return self.index.eps()
+
+    def current_matching(self) -> Matching:
+        """An immutable snapshot of the live matching."""
+        return self.index.current_matching()
+
+    def worst_eps(self) -> float:
+        """The worst post-delta ε observed so far."""
+        return max((eps for _, eps in self.trajectory), default=0.0)
+
+    def report(self) -> Dict[str, object]:
+        """JSON-shaped summary (mirrors ``SLOMonitor.report`` keys)."""
+        return {
+            "target_eps": self.slo.target_eps,
+            "deltas_applied": self.deltas_applied,
+            "fallbacks": self.fallbacks,
+            "marriages": self.marriages,
+            "final_eps": self.current_eps(),
+            "worst_eps": self.worst_eps(),
+            "blocking_pairs": len(self.index),
+            "num_edges": self.market.num_edges,
+            "matching_size": sum(
+                1 for _ in self.index.current_matching().pairs()
+            ),
+            "trajectory": [
+                {"delta": seq, "eps": eps} for seq, eps in self.trajectory
+            ],
+        }
+
+    # -- delta application ---------------------------------------------
+
+    def apply(self, delta: Delta) -> DeltaOutcome:
+        """Apply one delta, repair locally, enforce the SLO."""
+        eps_before = self.current_eps()
+        dirty_men, dirty_women = self._apply_structural(delta)
+        self.deltas_applied += 1
+        passes = marriages = 0
+        region_men: Dict[int, None] = {}
+        region_women: Dict[int, None] = {}
+        if self.auto_repair and len(self.index):
+            region_men, region_women = self._region(dirty_men, dirty_women)
+            passes, marriages = self._repair(region_men, region_women)
+            self.marriages += marriages
+        eps_after = self.current_eps()
+        fallback = False
+        if self.auto_repair and eps_after > self.slo.target_eps:
+            self._emit(
+                "slo_violation",
+                round=self.deltas_applied,
+                eps=eps_after,
+                target_eps=self.slo.target_eps,
+                blocking_pairs=len(self.index),
+            )
+            self._emit(
+                "dynamic_fallback",
+                delta=self.deltas_applied,
+                eps=eps_after,
+                target_eps=self.slo.target_eps,
+            )
+            self._full_restabilize()
+            self.fallbacks += 1
+            fallback = True
+            eps_after = self.current_eps()
+        self.trajectory.append((self.deltas_applied, eps_after))
+        outcome = DeltaOutcome(
+            seq=self.deltas_applied,
+            kind=delta_kind(delta),
+            region_men=len(region_men),
+            region_women=len(region_women),
+            repair_passes=passes,
+            marriages=marriages,
+            eps_before=eps_before,
+            eps_after=eps_after,
+            blocking_pairs=len(self.index),
+            fallback=fallback,
+        )
+        fields = outcome.to_dict()
+        fields["delta_kind"] = fields.pop("kind")
+        self._emit("dynamic_delta", **fields)
+        self._emit(
+            "slo_sample",
+            round=self.deltas_applied,
+            eps=eps_after,
+            blocking_pairs=len(self.index),
+            target_eps=self.slo.target_eps,
+            binding=self.slo.in_effect(self.deltas_applied),
+        )
+        if self.telemetry.profiler is not None:
+            self.telemetry.profiler.count(
+                "dynamic.delta",
+                deltas=1,
+                repair_passes=passes,
+                marriages=marriages,
+                fallbacks=1 if fallback else 0,
+            )
+        return outcome
+
+    def apply_stream(self, deltas: Sequence[Delta]) -> List[DeltaOutcome]:
+        """Apply a delta stream in order; one outcome per delta."""
+        return [self.apply(delta) for delta in deltas]
+
+    # -- structural dispatch -------------------------------------------
+
+    def _apply_structural(
+        self, delta: Delta
+    ) -> Tuple[List[int], List[int]]:
+        """Apply the delta to market + index; return dirty players."""
+        index = self.index
+        if isinstance(delta, AddEdge):
+            index.add_edge(
+                delta.man, delta.woman, delta.man_pos, delta.woman_pos
+            )
+            return [delta.man], [delta.woman]
+        if isinstance(delta, RemoveEdge):
+            was_matched = index.remove_edge(delta.man, delta.woman)
+            if was_matched:
+                self.matching.unmatch_man(delta.man)
+            return [delta.man], [delta.woman]
+        if isinstance(delta, SwapManPrefs):
+            women = index.swap_man_prefs(delta.man, delta.pos)
+            return [delta.man], sorted(women)
+        if isinstance(delta, SwapWomanPrefs):
+            men = index.swap_woman_prefs(delta.woman, delta.pos)
+            return sorted(men), [delta.woman]
+        if isinstance(delta, ArriveMan):
+            m = index.add_man(list(delta.prefs), list(delta.positions))
+            return [m], []
+        if isinstance(delta, ArriveWoman):
+            w = index.add_woman(list(delta.prefs), list(delta.positions))
+            return [], [w]
+        if isinstance(delta, DepartMan):
+            ex = index.depart_man(delta.man)
+            if ex is not None:
+                self.matching.unmatch_man(delta.man)
+                return [], [ex]
+            return [], []
+        if isinstance(delta, DepartWoman):
+            ex = index.depart_woman(delta.woman)
+            if ex is not None:
+                self.matching.unmatch_woman(delta.woman)
+                return [ex], []
+            return [], []
+        raise InvalidParameterError(
+            f"unknown delta type {type(delta).__name__!r}"
+        )
+
+    # -- localized repair ----------------------------------------------
+
+    def _region(
+        self, dirty_men: Sequence[int], dirty_women: Sequence[int]
+    ) -> Tuple[Dict[int, None], Dict[int, None]]:
+        """BFS out ``repair_radius`` hops from the dirty players.
+
+        Insertion-ordered dicts serve as deterministic ordered sets
+        (DET001): seeded sorted, grown in scan order.
+        """
+        men: Dict[int, None] = dict.fromkeys(sorted(dirty_men))
+        women: Dict[int, None] = dict.fromkeys(sorted(dirty_women))
+        frontier_men = list(men)
+        frontier_women = list(women)
+        men_lists = self.market.men_lists
+        women_lists = self.market.women_lists
+        for _ in range(self.repair_radius):
+            next_men: List[int] = []
+            next_women: List[int] = []
+            for m in frontier_men:
+                for w in men_lists[m]:
+                    if w not in women:
+                        women[w] = None
+                        next_women.append(w)
+            for w in frontier_women:
+                for m in women_lists[w]:
+                    if m not in men:
+                        men[m] = None
+                        next_men.append(m)
+            if not next_men and not next_women:
+                break
+            frontier_men, frontier_women = next_men, next_women
+        return men, women
+
+    def _repair(
+        self,
+        region_men: Dict[int, None],
+        region_women: Dict[int, None],
+    ) -> Tuple[int, int]:
+        """Batched propose–accept passes restricted to the region.
+
+        Players displaced by a marriage are appended to the region, so
+        later passes chase the perturbation they caused.  Returns
+        (passes run, marriages performed).
+        """
+        index = self.index
+        market = self.market
+        passes = 0
+        marriages = 0
+        for _ in range(self.repair_passes):
+            proposals: Dict[int, List[int]] = {}
+            for m in region_men:
+                w = self._best_blocking_partner(m, region_women)
+                if w is not None:
+                    proposals.setdefault(w, []).append(m)
+            if not proposals:
+                break
+            passes += 1
+            for w in sorted(proposals):
+                # Revalidate at marriage time: an earlier marriage this
+                # pass may have satisfied (or displaced) a suitor.
+                suitors = [
+                    m for m in proposals[w] if index.contains(m, w)
+                ]
+                if not suitors:
+                    continue
+                wrank = market.women_rank[w]
+                best = min(suitors, key=wrank.__getitem__)
+                displaced_w = index.man_partner(best)
+                displaced_m = index.woman_partner(w)
+                index.satisfy(best, w)
+                self.matching.unmatch_man(best)
+                self.matching.unmatch_woman(w)
+                self.matching.match(best, w)
+                marriages += 1
+                if displaced_m is not None and displaced_m not in region_men:
+                    region_men[displaced_m] = None
+                if (
+                    displaced_w is not None
+                    and displaced_w not in region_women
+                ):
+                    region_women[displaced_w] = None
+        return passes, marriages
+
+    def _best_blocking_partner(
+        self, m: int, region_women: Dict[int, None]
+    ) -> Optional[int]:
+        """Man ``m``'s most-preferred in-region blocking partner."""
+        index = self.index
+        for w in self.market.men_lists[m]:
+            if w in region_women and index.contains(m, w):
+                return w
+        return None
+
+    # -- full re-stabilization fallback --------------------------------
+
+    def _full_restabilize(self) -> None:
+        """Freeze the market, run full ASM, adopt its matching."""
+        frozen = self.market.freeze()
+        result = asm(frozen, self.eps, telemetry=self.telemetry)
+        partner = [
+            result.matching.partner_of_man(m)
+            for m in range(self.market.n_men)
+        ]
+        self.index.update_from_partner_lists(partner)
+        self.matching = MutableMatching(result.matching.pairs())
+        if self.telemetry.profiler is not None:
+            self.telemetry.profiler.count("dynamic.full_solve", solves=1)
+
+    # -- telemetry -----------------------------------------------------
+
+    def _emit(self, kind: str, **fields: object) -> None:
+        events = self.telemetry.events
+        if events.enabled:
+            events.emit(kind, **fields)
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicMatchingEngine(n_men={self.market.n_men}, "
+            f"n_women={self.market.n_women}, "
+            f"eps={self.current_eps():.4f}, "
+            f"deltas={self.deltas_applied})"
+        )

@@ -64,6 +64,8 @@ EVENT_KINDS: FrozenSet[str] = frozenset(
         "fault",
         "slo_sample",
         "slo_violation",
+        "dynamic_delta",
+        "dynamic_fallback",
     }
 )
 

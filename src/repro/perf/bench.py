@@ -29,10 +29,15 @@ from __future__ import annotations
 import os
 import platform
 import random
-import resource
+import sys
 import time
 import tracemalloc
 from typing import Any, Dict, List, Optional, Tuple
+
+try:
+    import resource
+except ImportError:  # Windows: the resource module is Unix-only.
+    resource = None  # type: ignore[assignment]
 
 from repro.analysis.stability import count_blocking_pairs
 from repro.core.asm import asm
@@ -47,6 +52,7 @@ __all__ = [
     "WORKLOAD_MATRIX",
     "run_bench",
     "run_index_vs_oracle",
+    "run_dynamic_vs_full",
     "compare_reports",
     "provenance_warnings",
 ]
@@ -99,6 +105,23 @@ WORKLOAD_MATRIX: Tuple[Dict[str, Any], ...] = (
 INDEX_VS_ORACLE_SCALES: Dict[str, Dict[str, Any]] = {
     "full": {"n": 2000, "p": 0.01, "steps": 120, "seed": 17},
     "smoke": {"n": 120, "p": 0.2, "steps": 30, "seed": 17},
+}
+
+#: Scales for the dynamic-engine incremental-repair vs full-re-run
+#: comparison (the acceptance-criterion case: n=10⁴ at full scale,
+#: where per-delta localized repair must beat a per-delta full ASM
+#: solve by ≥ 10×).  ``full_samples`` bounds how many full solves the
+#: control arm times — per-delta cost is their mean, so the case stays
+#: runnable while the incremental arm replays every delta.
+DYNAMIC_VS_FULL_SCALES: Dict[str, Dict[str, Any]] = {
+    "full": {
+        "n": 10_000, "d": 8, "steps": 40, "full_samples": 3,
+        "seed": 23, "eps": 0.5,
+    },
+    "smoke": {
+        "n": 120, "d": 6, "steps": 16, "full_samples": 4,
+        "seed": 23, "eps": 0.5,
+    },
 }
 
 
@@ -203,12 +226,106 @@ def run_index_vs_oracle(scale: str = "full") -> Dict[str, Any]:
     }
 
 
+def run_dynamic_vs_full(scale: str = "full") -> Dict[str, Any]:
+    """Incremental localized repair vs. a full ASM re-run per delta.
+
+    Both arms replay the same seeded churn stream.  The *incremental*
+    arm drives a :class:`~repro.dynamic.engine.DynamicMatchingEngine`
+    (warm-started outside the timed section) through every delta.  The
+    *control* arm replays the stream structurally (no repair) and
+    times a full ASM solve on a frozen snapshot at ``full_samples``
+    evenly spaced deltas — what a re-run-from-scratch service would
+    pay per delta.  Alongside the timing ratio the case pins the
+    engine's correctness counters: the index must agree with a fresh
+    full-scan index at the end, and ε must have stayed under the SLO
+    target after every delta.
+    """
+    from repro.dynamic.engine import DynamicMatchingEngine
+    from repro.workloads.churn import ChurnConfig, churn_stream
+
+    if scale not in DYNAMIC_VS_FULL_SCALES:
+        raise InvalidParameterError(
+            f"unknown scale {scale!r}; "
+            f"known: {sorted(DYNAMIC_VS_FULL_SCALES)}"
+        )
+    cfg = DYNAMIC_VS_FULL_SCALES[scale]
+    prefs = GENERATORS["bounded"](cfg["n"], cfg["d"], cfg["seed"])
+    deltas = churn_stream(
+        prefs, ChurnConfig(steps=cfg["steps"]), cfg["seed"]
+    )
+    eps = cfg["eps"]
+
+    # Incremental arm (timed): warm start outside the timed section —
+    # the steady-state per-delta cost is the claim under test.
+    engine = DynamicMatchingEngine(prefs, eps)
+    t0 = time.perf_counter()
+    engine.apply_stream(deltas)
+    incremental_seconds = time.perf_counter() - t0
+
+    index_agrees = True
+    try:
+        engine.index.verify()
+    except AssertionError:
+        index_agrees = False
+    eps_ok = all(
+        e <= engine.slo.target_eps + 1e-12 for _, e in engine.trajectory
+    )
+
+    # Control arm: replay structurally (untimed), full solve (timed)
+    # at sampled deltas.
+    shadow = DynamicMatchingEngine(
+        prefs, eps, warm_start=False, auto_repair=False
+    )
+    sample_every = max(1, len(deltas) // max(1, cfg["full_samples"]))
+    full_seconds: List[float] = []
+    for i, delta in enumerate(deltas):
+        shadow.apply(delta)
+        if i % sample_every == 0 and len(full_seconds) < cfg["full_samples"]:
+            frozen = shadow.market.freeze()
+            t0 = time.perf_counter()
+            asm(frozen, eps)
+            full_seconds.append(time.perf_counter() - t0)
+
+    per_delta_incremental = (
+        incremental_seconds / len(deltas) if deltas else 0.0
+    )
+    per_delta_full = (
+        sum(full_seconds) / len(full_seconds) if full_seconds else 0.0
+    )
+    return {
+        "n": cfg["n"],
+        "d": cfg["d"],
+        "seed": cfg["seed"],
+        "eps": eps,
+        "deltas": len(deltas),
+        "full_samples": len(full_seconds),
+        "incremental_seconds": incremental_seconds,
+        "per_delta_incremental_seconds": per_delta_incremental,
+        "per_delta_full_seconds": per_delta_full,
+        "speedup_per_delta": (
+            per_delta_full / per_delta_incremental
+            if per_delta_incremental
+            else 0.0
+        ),
+        "fallbacks": engine.fallbacks,
+        "marriages": engine.marriages,
+        "final_blocking_pairs": len(engine.index),
+        "final_matching_size": sum(
+            1 for _ in engine.current_matching().pairs()
+        ),
+        "final_num_edges": engine.market.num_edges,
+        "eps_ok": eps_ok,
+        "index_agrees": index_agrees,
+    }
+
+
 # ----------------------------------------------------------------------
 # Spec runners (resolved by name inside worker processes)
 # ----------------------------------------------------------------------
 
 _BENCH_RUNNER = "repro.perf.bench:run_case_spec"
 _IVO_RUNNER = "repro.perf.bench:run_ivo_spec"
+_DVF_RUNNER = "repro.perf.bench:run_dvf_spec"
 
 
 def run_case_spec(spec: TrialSpec) -> Dict[str, Any]:
@@ -232,6 +349,26 @@ def run_case_spec(spec: TrialSpec) -> Dict[str, Any]:
 def run_ivo_spec(spec: TrialSpec) -> Dict[str, Any]:
     """Execute the index-vs-oracle comparison for ``spec``'s scale."""
     return run_index_vs_oracle(spec.param("scale"))
+
+
+def run_dvf_spec(spec: TrialSpec) -> Dict[str, Any]:
+    """Execute the dynamic-vs-full comparison for ``spec``'s scale."""
+    return run_dynamic_vs_full(spec.param("scale"))
+
+
+def _max_rss_kb() -> Optional[int]:
+    """Peak RSS of this process in KiB, or ``None`` where unavailable.
+
+    ``getrusage`` reports ``ru_maxrss`` in KiB on Linux but in *bytes*
+    on macOS (and the module doesn't exist on Windows); normalizing
+    here keeps ``max_rss_kb`` comparable across machines.
+    """
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak // 1024
+    return peak
 
 
 def run_bench(
@@ -287,15 +424,27 @@ def run_bench(
             scale=scale,
         )
     )
+    dvf_cfg = DYNAMIC_VS_FULL_SCALES[scale]
+    specs.append(
+        TrialSpec.make(
+            _DVF_RUNNER,
+            algorithm="dynamic-engine",
+            n=dvf_cfg["n"],
+            eps=dvf_cfg["eps"],
+            seed=dvf_cfg["seed"],
+            scale=scale,
+        )
+    )
     # One spec per chunk: each bench case is its own timing unit.
     pool = TrialPool(workers=workers, chunk_size=1, telemetry=telemetry)
     outcomes = pool.run(specs)
     report: Dict[str, Any] = {
         "scale": scale,
         "repeats": repeats,
-        "cases": outcomes[:-1],
-        "index_vs_oracle": outcomes[-1],
-        "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "cases": outcomes[:-2],
+        "index_vs_oracle": outcomes[-2],
+        "dynamic_vs_full": outcomes[-1],
+        "max_rss_kb": _max_rss_kb(),
         "provenance": {
             "workers": workers,
             "cpu_count": os.cpu_count(),
@@ -367,6 +516,34 @@ def compare_reports(
                 f"({ivo_base.get('final_blocking_pairs')} -> "
                 f"{ivo_cur.get('final_blocking_pairs')} final blocking pairs)"
             )
+    dvf_base: Optional[Dict[str, Any]] = baseline.get("dynamic_vs_full")
+    dvf_cur: Optional[Dict[str, Any]] = current.get("dynamic_vs_full")
+    if dvf_base and dvf_cur:
+        # Like the smoke matrix, this gate is on the deterministic
+        # counters; the wall-time ratio is reported, not gated (smoke
+        # scale sits below the noise floor).
+        if not dvf_cur.get("index_agrees", False):
+            violations.append(
+                "dynamic_vs_full: dynamic index disagrees with a fresh "
+                "full-scan index after the churn stream"
+            )
+        if not dvf_cur.get("eps_ok", False):
+            violations.append(
+                "dynamic_vs_full: ε exceeded the SLO target after a delta"
+            )
+        for key in (
+            "deltas",
+            "fallbacks",
+            "marriages",
+            "final_blocking_pairs",
+            "final_matching_size",
+            "final_num_edges",
+        ):
+            if dvf_cur.get(key) != dvf_base.get(key):
+                violations.append(
+                    f"dynamic_vs_full: {key} changed "
+                    f"({dvf_base.get(key)} -> {dvf_cur.get(key)})"
+                )
     return violations
 
 

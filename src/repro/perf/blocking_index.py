@@ -314,14 +314,14 @@ class BlockingPairIndex:
         new partner or ``None``.  Only changed players are rescanned
         (changed men ascending, then changed women ascending).
         """
-        if len(man_partner) != self._prefs.n_men:
+        n_men = len(self._man_partner)
+        if len(man_partner) != n_men:
             raise InvalidParameterError(
-                f"expected {self._prefs.n_men} entries, "
-                f"got {len(man_partner)}"
+                f"expected {n_men} entries, got {len(man_partner)}"
             )
         changed_men: List[int] = []
         changed_women_seen: Dict[int, None] = {}
-        for m in range(self._prefs.n_men):
+        for m in range(n_men):
             old = self._man_partner[m]
             new = man_partner[m]
             if old == new:

@@ -1,5 +1,6 @@
 """Synthetic workload generators."""
 
+from repro.workloads.churn import ChurnConfig, churn_stream
 from repro.workloads.generators import (
     GENERATORS,
     adversarial_gale_shapley,
@@ -17,10 +18,12 @@ from repro.workloads.generators import (
 )
 
 __all__ = [
+    "ChurnConfig",
     "GENERATORS",
     "adversarial_gale_shapley",
     "almost_regular",
     "bounded_degree",
+    "churn_stream",
     "clustered",
     "complete_uniform",
     "default_instance",

@@ -1,0 +1,258 @@
+"""Seeded churn streams for the online dynamic matching engine.
+
+:func:`churn_stream` turns a starting profile into a deterministic
+list of :mod:`repro.dynamic.deltas` — arrivals, departures, edge
+add/removes, and adjacent preference swaps in seeded proportions.
+Validity is guaranteed by construction: the generator applies each
+candidate delta to a *shadow* :class:`~repro.dynamic.market.
+DynamicMarket` as it goes, so positions are always in range, removed
+edges exist, and departures hit live players.  The stream is a pure
+function of ``(profile, config, seed)`` — same inputs, byte-identical
+deltas — and carries only ints/tuples, so it pickles across
+:class:`~repro.parallel.pool.TrialPool` worker boundaries.
+
+Rates are *weights*, not probabilities: each step draws one delta
+kind from the normalized weight vector.  When a drawn kind is
+infeasible in the current state (no edge left to remove, no list long
+enough to swap, nobody to depart), the generator falls through a
+deterministic preference order rather than resampling, so the draw
+count — and hence the RNG stream — stays aligned with the step index.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.preferences import PreferenceProfile
+from repro.dynamic.deltas import (
+    AddEdge,
+    ArriveMan,
+    ArriveWoman,
+    Delta,
+    DepartMan,
+    DepartWoman,
+    RemoveEdge,
+    SwapManPrefs,
+    SwapWomanPrefs,
+)
+from repro.dynamic.market import DynamicMarket
+from repro.errors import InvalidParameterError
+
+__all__ = ["ChurnConfig", "churn_stream"]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Shape of a churn stream.
+
+    Parameters
+    ----------
+    steps:
+        Number of deltas to generate.
+    arrival_weight / departure_weight / edge_weight / swap_weight:
+        Relative draw weights of the four delta families (arrival,
+        departure, edge add/remove, adjacent preference swap).
+    arrival_degree:
+        Target preference-list length for arriving players (clamped
+        to the opposite side's live population).
+    """
+
+    steps: int
+    arrival_weight: float = 1.0
+    departure_weight: float = 1.0
+    edge_weight: float = 4.0
+    swap_weight: float = 4.0
+    arrival_degree: int = 6
+
+    def __post_init__(self) -> None:
+        if self.steps < 0:
+            raise InvalidParameterError(
+                f"steps must be >= 0, got {self.steps}"
+            )
+        weights = (
+            self.arrival_weight,
+            self.departure_weight,
+            self.edge_weight,
+            self.swap_weight,
+        )
+        if any(w < 0 for w in weights) or not any(weights):
+            raise InvalidParameterError(
+                f"weights must be >= 0 with a positive sum, got {weights}"
+            )
+        if self.arrival_degree < 1:
+            raise InvalidParameterError(
+                f"arrival_degree must be >= 1, got {self.arrival_degree}"
+            )
+
+
+def _live_players(lists: List[List[int]]) -> List[int]:
+    """Indices with nonempty lists (tombstoned players excluded)."""
+    return [v for v, lst in enumerate(lists) if lst]
+
+
+def _try_arrival(
+    market: DynamicMarket, rng: random.Random, degree: int
+) -> Optional[Delta]:
+    man_side = rng.random() < 0.5
+    targets = (
+        list(range(market.n_women))
+        if man_side
+        else list(range(market.n_men))
+    )
+    if not targets:
+        return None
+    count = min(degree, len(targets))
+    prefs = tuple(rng.sample(targets, count))
+    if man_side:
+        positions = tuple(
+            rng.randint(0, market.deg_woman(w)) for w in prefs
+        )
+        return ArriveMan(prefs=prefs, positions=positions)
+    positions = tuple(rng.randint(0, market.deg_man(m)) for m in prefs)
+    return ArriveWoman(prefs=prefs, positions=positions)
+
+
+def _try_departure(
+    market: DynamicMarket, rng: random.Random
+) -> Optional[Delta]:
+    man_side = rng.random() < 0.5
+    for side in (man_side, not man_side):
+        live = _live_players(market.men_lists if side else market.women_lists)
+        if live:
+            victim = live[rng.randrange(len(live))]
+            return DepartMan(man=victim) if side else DepartWoman(
+                woman=victim
+            )
+    return None
+
+
+def _try_edge(market: DynamicMarket, rng: random.Random) -> Optional[Delta]:
+    add = rng.random() < 0.5
+    if add:
+        delta = _try_edge_add(market, rng)
+        if delta is not None:
+            return delta
+        return _try_edge_remove(market, rng)
+    delta = _try_edge_remove(market, rng)
+    if delta is not None:
+        return delta
+    return _try_edge_add(market, rng)
+
+
+def _try_edge_add(
+    market: DynamicMarket, rng: random.Random, attempts: int = 8
+) -> Optional[Delta]:
+    if not market.n_men or not market.n_women:
+        return None
+    for _ in range(attempts):
+        m = rng.randrange(market.n_men)
+        w = rng.randrange(market.n_women)
+        if not market.has_edge(m, w):
+            return AddEdge(
+                man=m,
+                woman=w,
+                man_pos=rng.randint(0, market.deg_man(m)),
+                woman_pos=rng.randint(0, market.deg_woman(w)),
+            )
+    return None
+
+
+def _try_edge_remove(
+    market: DynamicMarket, rng: random.Random
+) -> Optional[Delta]:
+    live = _live_players(market.men_lists)
+    if not live:
+        return None
+    m = live[rng.randrange(len(live))]
+    lst = market.men_lists[m]
+    w = lst[rng.randrange(len(lst))]
+    return RemoveEdge(man=m, woman=w)
+
+
+def _try_swap(market: DynamicMarket, rng: random.Random) -> Optional[Delta]:
+    man_side = rng.random() < 0.5
+    for side in (man_side, not man_side):
+        lists = market.men_lists if side else market.women_lists
+        swappable = [v for v, lst in enumerate(lists) if len(lst) >= 2]
+        if not swappable:
+            continue
+        v = swappable[rng.randrange(len(swappable))]
+        pos = rng.randrange(len(lists[v]) - 1)
+        return (
+            SwapManPrefs(man=v, pos=pos)
+            if side
+            else SwapWomanPrefs(woman=v, pos=pos)
+        )
+    return None
+
+
+def churn_stream(
+    prefs: PreferenceProfile,
+    config: ChurnConfig,
+    seed: int,
+) -> List[Delta]:
+    """A deterministic churn stream starting from ``prefs``.
+
+    Steps where every delta family is infeasible (e.g. a fully
+    depopulated market) are skipped, so the result may be shorter than
+    ``config.steps`` — in practice only for degenerate inputs.
+    """
+    rng = random.Random(seed)
+    shadow = DynamicMarket(prefs)
+    kinds = ("arrival", "departure", "edge", "swap")
+    weights = (
+        config.arrival_weight,
+        config.departure_weight,
+        config.edge_weight,
+        config.swap_weight,
+    )
+    deltas: List[Delta] = []
+    for _ in range(config.steps):
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+        delta = _generate(kind, shadow, rng, config)
+        if delta is None:
+            continue
+        _apply_shadow(shadow, delta)
+        deltas.append(delta)
+    return deltas
+
+
+def _generate(
+    kind: str,
+    market: DynamicMarket,
+    rng: random.Random,
+    config: ChurnConfig,
+) -> Optional[Delta]:
+    if kind == "arrival":
+        return _try_arrival(market, rng, config.arrival_degree)
+    if kind == "departure":
+        return _try_departure(market, rng)
+    if kind == "edge":
+        return _try_edge(market, rng)
+    return _try_swap(market, rng)
+
+
+def _apply_shadow(market: DynamicMarket, delta: Delta) -> None:
+    """Advance the generator's shadow state by one delta."""
+    if isinstance(delta, AddEdge):
+        market.add_edge(delta.man, delta.woman, delta.man_pos, delta.woman_pos)
+    elif isinstance(delta, RemoveEdge):
+        market.remove_edge(delta.man, delta.woman)
+    elif isinstance(delta, SwapManPrefs):
+        market.swap_man_adjacent(delta.man, delta.pos)
+    elif isinstance(delta, SwapWomanPrefs):
+        market.swap_woman_adjacent(delta.woman, delta.pos)
+    elif isinstance(delta, ArriveMan):
+        market.add_man(list(delta.prefs), list(delta.positions))
+    elif isinstance(delta, ArriveWoman):
+        market.add_woman(list(delta.prefs), list(delta.positions))
+    elif isinstance(delta, DepartMan):
+        market.clear_man(delta.man)
+    elif isinstance(delta, DepartWoman):
+        market.clear_woman(delta.woman)
+    else:
+        raise InvalidParameterError(
+            f"unknown delta type {type(delta).__name__!r}"
+        )

@@ -1,0 +1,110 @@
+"""Regression tests pinning the PR-7 portability/clock bugfix sweep.
+
+Three bugs, three pins:
+
+1. CLI wall-time measurement used ``time.time()`` — not monotonic, so
+   an NTP step mid-run could yield negative or wildly wrong durations.
+   Durations now come from ``time.perf_counter()``; the test makes
+   ``time.time()`` explode to prove no duration path touches it.
+2. ``repro.perf.bench`` imported the Unix-only ``resource`` module at
+   module scope (ImportError on Windows) and reported ``ru_maxrss``
+   raw, which is KiB on Linux but *bytes* on macOS.
+3. ``cli._git_rev`` swallowed *every* exception, hiding programming
+   errors behind a silent ``"dev"`` fallback; it now catches only
+   ``(OSError, subprocess.SubprocessError)``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import time
+
+import pytest
+
+import repro.cli as cli
+import repro.perf.bench as bench
+
+
+class TestMonotonicClock:
+    def test_cli_durations_never_read_wall_clock(self, monkeypatch, capsys):
+        def boom():
+            raise AssertionError(
+                "time.time() consulted for a duration measurement"
+            )
+
+        monkeypatch.setattr(time, "time", boom)
+        code = cli.main(
+            ["run", "--workload", "complete", "--n", "10",
+             "--eps", "0.5"]
+        )
+        assert code == 0
+        assert "blocking" in capsys.readouterr().out
+
+    def test_no_time_time_left_in_cli_source(self):
+        import inspect
+
+        assert "time.time()" not in inspect.getsource(cli)
+
+
+class TestMaxRssPortability:
+    def test_absent_resource_module_reports_none(self, monkeypatch):
+        monkeypatch.setattr(bench, "resource", None)
+        assert bench._max_rss_kb() is None
+
+    def _fake_resource(self, ru_maxrss):
+        class FakeUsage:
+            pass
+
+        class FakeResource:
+            RUSAGE_SELF = 0
+
+            @staticmethod
+            def getrusage(_who):
+                usage = FakeUsage()
+                usage.ru_maxrss = ru_maxrss
+                return usage
+
+        return FakeResource()
+
+    def test_linux_reports_kib_unchanged(self, monkeypatch):
+        monkeypatch.setattr(bench, "resource", self._fake_resource(4096))
+        monkeypatch.setattr(bench.sys, "platform", "linux")
+        assert bench._max_rss_kb() == 4096
+
+    def test_darwin_bytes_normalized_to_kib(self, monkeypatch):
+        monkeypatch.setattr(
+            bench, "resource", self._fake_resource(4096 * 1024)
+        )
+        monkeypatch.setattr(bench.sys, "platform", "darwin")
+        assert bench._max_rss_kb() == 4096
+
+
+class TestGitRevErrorNarrowing:
+    def test_missing_git_falls_back_to_dev(self, monkeypatch):
+        def no_git(*args, **kwargs):
+            raise FileNotFoundError("git not on PATH")
+
+        monkeypatch.setattr(subprocess, "run", no_git)
+        assert cli._git_rev() == "dev"
+
+    def test_subprocess_failure_falls_back_to_dev(self, monkeypatch):
+        def not_a_repo(*args, **kwargs):
+            raise subprocess.CalledProcessError(128, "git")
+
+        monkeypatch.setattr(subprocess, "run", not_a_repo)
+        assert cli._git_rev() == "dev"
+
+    def test_timeout_falls_back_to_dev(self, monkeypatch):
+        def hangs(*args, **kwargs):
+            raise subprocess.TimeoutExpired("git", 10)
+
+        monkeypatch.setattr(subprocess, "run", hangs)
+        assert cli._git_rev() == "dev"
+
+    def test_programming_errors_propagate(self, monkeypatch):
+        def bug(*args, **kwargs):
+            raise TypeError("broken call site")
+
+        monkeypatch.setattr(subprocess, "run", bug)
+        with pytest.raises(TypeError):
+            cli._git_rev()

@@ -23,6 +23,9 @@ MODULE_NAMES = [
     "repro.core.preferences",
     "repro.core.quantile",
     "repro.core.rand_asm",
+    "repro.dynamic.engine",
+    "repro.dynamic.index",
+    "repro.dynamic.market",
     "repro.graphs",
     "repro.mm.bipartite",
     "repro.mm.greedy",

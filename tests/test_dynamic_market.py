@@ -1,0 +1,174 @@
+"""Tests for the mutable market state (``repro.dynamic.market``).
+
+Every mutation must keep the four structures mutually consistent
+(symmetry, duplicate-free lists, rank = position + 1) and
+:meth:`DynamicMarket.freeze` must always yield a *validated*
+``PreferenceProfile`` — freezing is how the invariants are audited.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.preferences import PreferenceProfile
+from repro.dynamic import DynamicMarket
+from repro.errors import InvalidParameterError, InvalidPreferencesError
+from repro.workloads.generators import complete_uniform, gnp_incomplete
+
+
+def _assert_consistent(market: DynamicMarket) -> None:
+    """Symmetry + rank-table invariants, via freeze's full validation."""
+    frozen = market.freeze()
+    assert frozen.num_edges == market.num_edges
+    for m, lst in enumerate(market.men_lists):
+        assert market.men_rank[m] == {w: r + 1 for r, w in enumerate(lst)}
+    for w, lst in enumerate(market.women_lists):
+        assert market.women_rank[w] == {m: r + 1 for r, m in enumerate(lst)}
+
+
+class TestConstruction:
+    def test_empty(self):
+        market = DynamicMarket()
+        assert market.n_men == market.n_women == market.num_edges == 0
+        assert market.freeze().num_edges == 0
+
+    def test_from_profile_copies(self):
+        prefs = complete_uniform(5, seed=1)
+        market = DynamicMarket(prefs)
+        market.remove_edge(0, market.men_lists[0][0])
+        # the source profile is untouched
+        assert prefs.num_edges == 25
+        assert market.num_edges == 24
+        _assert_consistent(market)
+
+    def test_freeze_round_trip(self):
+        prefs = gnp_incomplete(8, 0.5, seed=3)
+        frozen = DynamicMarket(prefs).freeze()
+        assert frozen == prefs
+
+
+class TestEdgeDeltas:
+    def test_add_edge_positions(self):
+        market = DynamicMarket(
+            PreferenceProfile([[0, 1], [1]], [[0], [1, 0]])
+        )
+        market.add_edge(1, 0, man_pos=0, woman_pos=1)
+        assert market.men_lists[1] == [0, 1]
+        assert market.women_lists[0] == [0, 1]
+        assert market.num_edges == 4
+        _assert_consistent(market)
+
+    def test_add_edge_appends_by_default(self):
+        market = DynamicMarket(PreferenceProfile([[0]], [[0], []]))
+        market.add_edge(0, 1)
+        assert market.men_lists[0] == [0, 1]
+        assert market.women_lists[1] == [0]
+        _assert_consistent(market)
+
+    def test_add_duplicate_edge_rejected(self):
+        market = DynamicMarket(complete_uniform(3, seed=0))
+        with pytest.raises(InvalidPreferencesError):
+            market.add_edge(0, market.men_lists[0][0])
+
+    def test_add_edge_position_out_of_range(self):
+        market = DynamicMarket(PreferenceProfile([[0]], [[0], []]))
+        with pytest.raises(InvalidParameterError):
+            market.add_edge(0, 1, man_pos=5)
+
+    def test_remove_edge(self):
+        market = DynamicMarket(complete_uniform(4, seed=2))
+        w = market.men_lists[1][2]
+        market.remove_edge(1, w)
+        assert w not in market.men_rank[1]
+        assert 1 not in market.women_rank[w]
+        assert market.num_edges == 15
+        _assert_consistent(market)
+
+    def test_remove_missing_edge_rejected(self):
+        market = DynamicMarket(PreferenceProfile([[0]], [[0], []]))
+        with pytest.raises(InvalidPreferencesError):
+            market.remove_edge(0, 1)
+
+    def test_player_out_of_range(self):
+        market = DynamicMarket(complete_uniform(2, seed=0))
+        with pytest.raises(InvalidParameterError):
+            market.add_edge(5, 0)
+        with pytest.raises(InvalidParameterError):
+            market.remove_edge(0, -1)
+
+
+class TestSwaps:
+    def test_swap_man_adjacent(self):
+        market = DynamicMarket(PreferenceProfile(
+            [[0, 1, 2]], [[0], [0], [0]]
+        ))
+        up, down = market.swap_man_adjacent(0, 1)
+        assert market.men_lists[0] == [0, 2, 1]
+        assert (up, down) == (2, 1)
+        assert market.men_rank[0] == {0: 1, 2: 2, 1: 3}
+        _assert_consistent(market)
+
+    def test_swap_woman_adjacent(self):
+        market = DynamicMarket(PreferenceProfile(
+            [[0], [0], [0]], [[0, 1, 2]]
+        ))
+        up, down = market.swap_woman_adjacent(0, 0)
+        assert market.women_lists[0] == [1, 0, 2]
+        assert (up, down) == (1, 0)
+        _assert_consistent(market)
+
+    def test_swap_position_out_of_range(self):
+        market = DynamicMarket(PreferenceProfile([[0]], [[0]]))
+        with pytest.raises(InvalidParameterError):
+            market.swap_man_adjacent(0, 0)  # deg 1: nothing to swap
+        with pytest.raises(InvalidParameterError):
+            market.swap_woman_adjacent(0, -1)
+
+
+class TestArrivalsDepartures:
+    def test_add_man(self):
+        market = DynamicMarket(complete_uniform(3, seed=1))
+        m = market.add_man([2, 0], [0, 3])
+        assert m == 3
+        assert market.men_lists[3] == [2, 0]
+        assert market.women_lists[2][0] == 3
+        assert market.women_lists[0][3] == 3
+        assert market.num_edges == 11
+        _assert_consistent(market)
+
+    def test_add_woman(self):
+        market = DynamicMarket(complete_uniform(3, seed=1))
+        w = market.add_woman([1], [1])
+        assert w == 3
+        assert market.men_lists[1][1] == 3
+        _assert_consistent(market)
+
+    def test_arrival_validation_is_atomic(self):
+        market = DynamicMarket(complete_uniform(3, seed=1))
+        before = market.freeze()
+        with pytest.raises(InvalidPreferencesError):
+            market.add_man([0, 0], [0, 0])  # duplicate entry
+        with pytest.raises(InvalidParameterError):
+            market.add_man([0, 1], [0])  # length mismatch
+        with pytest.raises(InvalidParameterError):
+            market.add_man([0], [99])  # position out of range
+        # nothing was mutated by the failed arrivals
+        assert market.freeze() == before
+        assert market.n_men == 3
+
+    def test_departure_tombstones(self):
+        market = DynamicMarket(complete_uniform(4, seed=5))
+        women = market.clear_man(2)
+        assert sorted(women) == [0, 1, 2, 3]
+        assert market.n_men == 4  # index retained
+        assert market.men_lists[2] == []
+        assert all(2 not in lst for lst in market.women_lists)
+        assert market.num_edges == 12
+        _assert_consistent(market)
+
+    def test_departed_player_can_be_reconnected(self):
+        market = DynamicMarket(complete_uniform(3, seed=0))
+        market.clear_woman(1)
+        market.add_edge(0, 1)
+        assert market.women_lists[1] == [0]
+        _assert_consistent(market)

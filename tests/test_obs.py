@@ -149,6 +149,8 @@ class TestEventLog:
             "fault",
             "slo_sample",
             "slo_violation",
+            "dynamic_delta",
+            "dynamic_fallback",
         }
 
 

@@ -22,7 +22,11 @@ from repro.core.matching import MutableMatching
 from repro.errors import InvalidParameterError
 from repro.io import FileFormatError, load_bench, save_bench
 from repro.perf import BlockingPairIndex, compare_reports, run_bench
-from repro.perf.bench import WORKLOAD_MATRIX, run_index_vs_oracle
+from repro.perf.bench import (
+    WORKLOAD_MATRIX,
+    run_dynamic_vs_full,
+    run_index_vs_oracle,
+)
 from repro.workloads.generators import gnp_incomplete
 
 COUNTER_KEYS = {
@@ -128,6 +132,49 @@ class TestCompareReports:
         current["index_vs_oracle"]["agree"] = False
         violations = compare_reports(current, smoke_report)
         assert any("index_vs_oracle" in v for v in violations)
+
+
+class TestDynamicVsFull:
+    def test_report_structure(self, smoke_report):
+        dvf = smoke_report["dynamic_vs_full"]
+        assert dvf["index_agrees"] is True
+        assert dvf["eps_ok"] is True
+        assert dvf["deltas"] > 0
+        assert dvf["per_delta_incremental_seconds"] > 0
+        assert dvf["per_delta_full_seconds"] > 0
+        assert dvf["speedup_per_delta"] > 1.0
+
+    def test_deterministic_counters_across_runs(self):
+        keys = ("deltas", "fallbacks", "marriages",
+                "final_blocking_pairs", "final_matching_size",
+                "final_num_edges", "eps_ok", "index_agrees")
+        first = run_dynamic_vs_full("smoke")
+        second = run_dynamic_vs_full("smoke")
+        assert {k: first[k] for k in keys} == {
+            k: second[k] for k in keys
+        }
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_dynamic_vs_full("huge")
+
+    def test_counter_drift_flagged(self, smoke_report):
+        current = copy.deepcopy(smoke_report)
+        current["dynamic_vs_full"]["marriages"] += 1
+        violations = compare_reports(current, smoke_report)
+        assert any("dynamic_vs_full" in v for v in violations)
+
+    def test_eps_breach_flagged(self, smoke_report):
+        current = copy.deepcopy(smoke_report)
+        current["dynamic_vs_full"]["eps_ok"] = False
+        violations = compare_reports(current, smoke_report)
+        assert any("dynamic_vs_full" in v for v in violations)
+
+    def test_index_disagreement_flagged(self, smoke_report):
+        current = copy.deepcopy(smoke_report)
+        current["dynamic_vs_full"]["index_agrees"] = False
+        violations = compare_reports(current, smoke_report)
+        assert any("dynamic_vs_full" in v for v in violations)
 
 
 class TestBenchIO:
