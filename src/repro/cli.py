@@ -1020,7 +1020,52 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"eps_ok={'yes' if dvf['eps_ok'] else 'NO'}, "
         f"index={'exact' if dvf['index_agrees'] else 'BROKEN'}"
     )
+    vec = report.get("vec") or {}
+    vec_broken = False
+    if vec.get("available"):
+        vrows: List[Dict[str, Any]] = []
+        for case in vec.get("cases", []):
+            row: Dict[str, Any] = {
+                "case": case["name"],
+                "wall_s": round(case["wall_seconds"], 4),
+                "cold_s": round(case["cold_wall_seconds"], 4),
+                "messages": case["counters"]["messages"],
+                "blocking": case["counters"]["blocking_pairs"],
+                "matched": case["counters"]["matching_size"],
+            }
+            if case.get("mode") == "dual":
+                row["speedup"] = f"{case['speedup']:.1f}x"
+                identical = case.get("results_identical", False)
+                row["identical"] = "yes" if identical else "BROKEN"
+                vec_broken = vec_broken or not identical
+            vrows.append(row)
+        if vrows:
+            print(format_table(rows=vrows, title="vec engine suite"))
+        dvfv = vec.get("dynamic_vs_full_vec")
+        if dvfv:
+            print(
+                f"dynamic vs full re-run, vec solver (n={dvfv['n']}, "
+                f"{dvfv['deltas']} deltas): "
+                f"{dvfv['per_delta_incremental_seconds'] * 1e3:.3f}ms/delta "
+                f"incremental vs "
+                f"{dvfv['per_delta_full_seconds'] * 1e3:.1f}ms/delta "
+                f"full ASM = {dvfv['speedup_per_delta']:.1f}x speedup, "
+                f"eps_ok={'yes' if dvfv['eps_ok'] else 'NO'}, "
+                f"index={'exact' if dvfv['index_agrees'] else 'BROKEN'}"
+            )
+    else:
+        print(
+            "vec engine suite: skipped "
+            "(numpy unavailable; install repro[fast])"
+        )
     print(f"wrote {out}", file=sys.stderr)
+    if vec_broken:
+        print(
+            "FAIL: optimized and vec engine results diverged "
+            "(bit-identity contract broken)",
+            file=sys.stderr,
+        )
+        return 1
     if not ivo["agree"]:
         print(
             "FAIL: incremental index disagrees with the full-scan oracle",
@@ -1031,6 +1076,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(
             "FAIL: dynamic engine broke its stability contract "
             "(see dynamic_vs_full in the report)",
+            file=sys.stderr,
+        )
+        return 1
+    dvfv = (report.get("vec") or {}).get("dynamic_vs_full_vec")
+    if dvfv and (not dvfv["index_agrees"] or not dvfv["eps_ok"]):
+        print(
+            "FAIL: dynamic engine broke its stability contract on the "
+            "vec solver arm (see vec.dynamic_vs_full_vec in the report)",
             file=sys.stderr,
         )
         return 1

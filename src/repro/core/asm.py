@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.matching import Matching
 from repro.core.preferences import PreferenceProfile
@@ -45,6 +45,7 @@ from repro.core.rounds import (
 )
 from repro.errors import InvalidParameterError, SimulationError
 from repro.graphs import Graph, is_man_node, man_node, node_index, woman_node
+from repro.mm.deterministic import deterministic_maximal_matching
 from repro.mm.oracles import MMOracle, deterministic_oracle
 from repro.mm.result import MMResult
 from repro.mm.verify import violating_vertices
@@ -272,15 +273,32 @@ class ASMEngine:
         ``asm.phase.maximal_matching`` histograms).  Defaults to the
         shared no-op bundle, which costs (nearly) nothing.
     optimized:
-        Select the allocation-free fast ProposalRound path (default) or
-        the seed reference path.  Both produce bit-identical results —
-        the fast path reuses per-woman suitor buffers across rounds,
-        keeps active sets as pre-sorted insertion-ordered dicts, and
-        probes each woman's live quantile table once per suitor; the
-        reference path rebuilds its dicts per round exactly as the seed
-        implementation did.  The equivalence test suite runs both over
-        the workload grid and asserts identical :class:`ASMResult`
-        bundles (``tests/test_perf_equivalence.py``).
+        Three-way engine selector; all paths produce bit-identical
+        :class:`ASMResult` bundles:
+
+        * ``True`` (default) — the allocation-free fast ProposalRound
+          path: per-woman suitor buffers reused across rounds, active
+          sets as pre-sorted insertion-ordered dicts, one quantile-table
+          probe per suitor.
+        * ``False`` — the seed reference path, which rebuilds its dicts
+          per round exactly as the seed implementation did.
+        * ``"vec"`` — the numpy struct-of-arrays backend
+          (:mod:`repro.vec`): the profile is compiled to flat CSR /
+          quantile arrays and every ProposalRound step runs as batched
+          array ops over all active men at once.  Requires numpy
+          (``pip install repro[fast]``; raises
+          :class:`~repro.errors.VecUnavailableError` without it),
+          supports only the deterministic maximal-matching oracle
+          (its tie-breaking is compiled in) and not
+          ``remove_unmatched_violators``.  Observers receive the
+          engine as usual, but its mutable state is array-form
+          (``man_partner`` is an int array with ``-1`` = unmatched,
+          not a list of ``Optional[int]``).
+
+        The equivalence suites run the paths over the workload grid and
+        assert identical result bundles
+        (``tests/test_perf_equivalence.py``,
+        ``tests/test_vec_equivalence.py``).
     """
 
     def __init__(
@@ -296,7 +314,7 @@ class ASMEngine:
         check_invariants: bool = False,
         observer: Optional[ASMObserver] = None,
         telemetry: Optional[Telemetry] = None,
-        optimized: bool = True,
+        optimized: Union[bool, str] = True,
         inner_iterations: Optional[int] = None,
         outer_iterations: Optional[int] = None,
     ) -> None:
@@ -325,30 +343,67 @@ class ASMEngine:
 
         self.n_men = prefs.n_men
         self.n_women = prefs.n_women
-        # Quantized preferences (Section 3.1 state).
-        self.men_q: List[QuantizedList] = [
-            QuantizedList(prefs.man_list(m), self.k) for m in range(self.n_men)
-        ]
-        self.women_q: List[QuantizedList] = [
-            QuantizedList(prefs.woman_list(w), self.k)
-            for w in range(self.n_women)
-        ]
-        # Partners p(v); None = unmatched.
-        self.man_partner: List[Optional[int]] = [None] * self.n_men
-        self.woman_partner: List[Optional[int]] = [None] * self.n_women
-        # Active proposal sets A (men only), kept as insertion-ordered
-        # dicts built ascending — deletions preserve order, so both
-        # engine paths iterate A in the canonical sorted order without
-        # a per-round sort (DET001 stays satisfied structurally).
-        self.active: List[Dict[int, None]] = [{} for _ in range(self.n_men)]
-        # Almost-regular mode: men removed from play.
-        self.removed: List[bool] = [False] * self.n_men
-        # Fast-path buffers, reused across every ProposalRound of the
-        # run: per-woman suitor lists plus the list of women touched in
-        # the current round, and the men whose A might be nonempty.
-        self._suitor_buf: List[List[int]] = [[] for _ in range(self.n_women)]
-        self._touched_women: List[int] = []
-        self._active_men: List[int] = []
+        if not isinstance(optimized, bool) and optimized != "vec":
+            raise InvalidParameterError(
+                "optimized must be True, False, or 'vec', "
+                f"got {optimized!r}"
+            )
+        if optimized == "vec":
+            # Struct-of-arrays backend: compile once (cached on the
+            # profile), skip the per-player Python state entirely.
+            if remove_unmatched_violators:
+                raise InvalidParameterError(
+                    "optimized='vec' does not support "
+                    "remove_unmatched_violators; use the pure-Python "
+                    "paths for the almost-regular variant"
+                )
+            if self.mm_oracle is not deterministic_maximal_matching:
+                raise InvalidParameterError(
+                    "optimized='vec' supports only the deterministic "
+                    "maximal-matching oracle (its tie-breaking order is "
+                    "compiled into the struct-of-arrays form); leave "
+                    "mm_oracle unset"
+                )
+            from repro.vec import require_numpy
+
+            require_numpy()
+            from repro.vec.compile import compile_profile
+            from repro.vec.engine import VecState
+
+            self._vec: Optional["VecState"] = VecState(
+                compile_profile(prefs, self.k), check_invariants
+            )
+            # Observer-visible aliases of the array state (documented in
+            # the class docstring: -1 means unmatched here, not None).
+            self.man_partner = self._vec.man_partner
+            self.woman_partner = self._vec.woman_partner
+        else:
+            self._vec = None
+            # Quantized preferences (Section 3.1 state).
+            self.men_q: List[QuantizedList] = [
+                QuantizedList(prefs.man_list(m), self.k)
+                for m in range(self.n_men)
+            ]
+            self.women_q: List[QuantizedList] = [
+                QuantizedList(prefs.woman_list(w), self.k)
+                for w in range(self.n_women)
+            ]
+            # Partners p(v); None = unmatched.
+            self.man_partner: List[Optional[int]] = [None] * self.n_men
+            self.woman_partner: List[Optional[int]] = [None] * self.n_women
+            # Active proposal sets A (men only), kept as insertion-ordered
+            # dicts built ascending — deletions preserve order, so both
+            # engine paths iterate A in the canonical sorted order without
+            # a per-round sort (DET001 stays satisfied structurally).
+            self.active: List[Dict[int, None]] = [{} for _ in range(self.n_men)]
+            # Almost-regular mode: men removed from play.
+            self.removed: List[bool] = [False] * self.n_men
+            # Fast-path buffers, reused across every ProposalRound of the
+            # run: per-woman suitor lists plus the list of women touched in
+            # the current round, and the men whose A might be nonempty.
+            self._suitor_buf: List[List[int]] = [[] for _ in range(self.n_women)]
+            self._touched_women: List[int] = []
+            self._active_men: List[int] = []
 
         self.counter = RoundCounter()
         self.messages = MessageStats()
@@ -367,10 +422,17 @@ class ASMEngine:
 
     def man_is_good(self, m: int) -> bool:
         """Good = matched, or rejected by every acceptable partner."""
+        if self._vec is not None:
+            return bool(
+                self._vec.man_partner[m] != -1
+                or self._vec.m_remaining[m] == 0
+            )
         return self.man_partner[m] is not None or self.men_q[m].remaining == 0
 
     def good_men(self) -> FrozenSet[int]:
         """All currently good men (excluding removed men)."""
+        if self._vec is not None:
+            return self._vec.good_men_set()
         return frozenset(
             m
             for m in range(self.n_men)
@@ -379,6 +441,8 @@ class ASMEngine:
 
     def bad_men(self) -> FrozenSet[int]:
         """All currently bad men (excluding removed men)."""
+        if self._vec is not None:
+            return self._vec.bad_men_set()
         return frozenset(
             m
             for m in range(self.n_men)
@@ -387,10 +451,14 @@ class ASMEngine:
 
     def removed_men(self) -> FrozenSet[int]:
         """Men removed from play (almost-regular mode only)."""
+        if self._vec is not None:
+            return frozenset()  # vec mode rejects the almost-regular flag
         return frozenset(m for m in range(self.n_men) if self.removed[m])
 
     def current_matching(self) -> Matching:
         """The partial matching ``M = {(p(w), w) | p(w) ≠ ∅}``."""
+        if self._vec is not None:
+            return Matching(self._vec.matching_pairs())
         return Matching(
             (m, w)
             for w, m in enumerate(self.woman_partner)
@@ -408,13 +476,54 @@ class ASMEngine:
         (since active sets only shrink between QuantileMatch calls) no
         state can change — callers charge the scheduled rounds and skip.
 
-        Dispatches to the allocation-free fast path or the seed
-        reference path per the ``optimized`` flag; both produce
+        Dispatches to the vectorized, allocation-free fast, or seed
+        reference path per the ``optimized`` flag; all produce
         bit-identical state transitions and stats.
         """
+        if self._vec is not None:
+            return self._proposal_round_vec()
         if self.optimized:
             return self._proposal_round_fast()
         return self._proposal_round_reference()
+
+    def _proposal_round_vec(self) -> Optional[ProposalRoundStats]:
+        """Batched ProposalRound over the struct-of-arrays state.
+
+        The five steps run as whole-array operations in
+        :class:`repro.vec.engine.VecState`; this wrapper owns what the
+        other paths own — phase timers, message/round accounting, the
+        profiler counter, and the observer hook — so all three paths
+        share one implementation of the instrumentation contract.
+        """
+        telemetry = self.telemetry
+        vec = self._vec
+        with telemetry.timer("asm.phase.propose"):
+            step1 = vec.step_propose()
+        if step1 is None:
+            return None
+        n_proposals, max_work = step1
+        with telemetry.timer("asm.phase.accept_reject"):
+            n_accepts, step_max = vec.step_accept()
+            if step_max > max_work:
+                max_work = step_max
+        with telemetry.timer("asm.phase.maximal_matching"):
+            mm_result, g0, mm_work = vec.step_maximal_matching()
+            if mm_work > max_work:
+                max_work = mm_work
+        with telemetry.timer("asm.phase.accept_reject"):
+            n_rejects, matched_in_m0, step_max = vec.step_reject()
+            if step_max > max_work:
+                max_work = step_max
+        return self._finalize_round(
+            n_proposals,
+            n_accepts,
+            n_rejects,
+            g0,
+            mm_result,
+            matched_in_m0,
+            0,
+            max_work,
+        )
 
     def _mm_phase(self, g0: Graph) -> Tuple[MMResult, int, int]:
         """Step 3 (shared by both paths): maximal matching on ``G₀``.
@@ -787,7 +896,21 @@ class ASMEngine:
         quantile, then ProposalRound runs ``k`` times (stopping early —
         with scheduled rounds still charged — once no proposals remain).
         Returns whether any communication happened.
+
+        In vec mode ``participating`` may also be a boolean mask over
+        men (the outer loop's native form); integer sequences are
+        accepted on every path.
         """
+        if self._vec is not None:
+            mask = self._vec.as_mask(participating)
+            count = int(mask.sum())
+            profiler = self.telemetry.profiler
+            if profiler is not None:
+                with profiler.phase(
+                    "asm.quantile_match", participating=count
+                ):
+                    return self._quantile_match_vec(mask)
+            return self._quantile_match_vec(mask)
         profiler = self.telemetry.profiler
         if profiler is not None:
             with profiler.phase(
@@ -795,6 +918,27 @@ class ASMEngine:
             ):
                 return self._quantile_match_impl(participating)
         return self._quantile_match_impl(participating)
+
+    def _quantile_match_vec(self, part_mask: object) -> bool:
+        """Vec-mode QuantileMatch body (activation + ``k`` rounds)."""
+        vec = self._vec
+        vec.activate(part_mask)
+        self.quantile_match_calls_executed += 1
+        self.quantile_match_calls_scheduled += 1
+        any_communication = False
+        for j in range(self.k):
+            stats = self.proposal_round()
+            if stats is None:
+                self._charge_skipped_proposal_rounds(self.k - j)
+                break
+            any_communication = True
+        if self.check_invariants and not vec.lemma2_holds():
+            raise SimulationError(
+                "Lemma 2 violated: some man has A ≠ ∅ after QuantileMatch"
+            )
+        if self.observer is not None:
+            self.observer.on_quantile_match_end(self)
+        return any_communication
 
     def _quantile_match_impl(self, participating: Sequence[int]) -> bool:
         active_men: List[int] = []
@@ -882,6 +1026,8 @@ class ASMEngine:
         return self._run_outer_iteration_impl(i)
 
     def _run_outer_iteration_impl(self, i: int) -> OuterIterationStats:
+        if self._vec is not None:
+            return self._run_outer_iteration_vec(i)
         threshold = 2 ** i
         inner = self.inner_iteration_count()
         participating_start = self._participating(threshold)
@@ -915,6 +1061,39 @@ class ASMEngine:
             self.observer.on_outer_iteration_end(self, stats)
         return stats
 
+    def _run_outer_iteration_vec(self, i: int) -> OuterIterationStats:
+        """Vec-mode outer iteration: O(n) array scans replace the
+        per-man Python loops of the generic implementation (which would
+        dominate the run at n >= 10^5)."""
+        vec = self._vec
+        threshold = 2 ** i
+        inner = self.inner_iteration_count()
+        start_mask = vec.participating_mask(threshold)
+        executed = 0
+        for j in range(inner):
+            part = vec.participating_mask(threshold)
+            if not vec.needs_run(part):
+                self._charge_skipped_quantile_matches(inner - j)
+                break
+            self.quantile_match(part)
+            executed += 1
+        end_mask = vec.participating_mask(threshold)
+        bad = vec.bad_mask()
+        stats = OuterIterationStats(
+            index=i,
+            threshold=threshold,
+            participating_men_start=int(start_mask.sum()),
+            participating_men_end=int(end_mask.sum()),
+            bad_participating_men_end=int((end_mask & bad).sum()),
+            bad_in_start_set_end=int((start_mask & bad).sum()),
+            quantile_match_calls_executed=executed,
+            quantile_match_calls_scheduled=inner,
+        )
+        self.outer_stats.append(stats)
+        if self.observer is not None:
+            self.observer.on_outer_iteration_end(self, stats)
+        return stats
+
     def run(self) -> ASMResult:
         """Execute ASM to completion and return the result bundle."""
         for i in range(self.outer_iteration_count()):
@@ -934,15 +1113,25 @@ class ASMEngine:
                 f"iterations must be >= 1, got {iterations}"
             )
         executed = 0
-        for j in range(iterations):
-            participating = [
-                m for m in range(self.n_men) if not self.removed[m]
-            ]
-            if not self._needs_run(participating):
-                self._charge_skipped_quantile_matches(iterations - j)
-                break
-            self.quantile_match(participating)
-            executed += 1
+        if self._vec is not None:
+            vec = self._vec
+            all_mask = vec.participating_mask(0)  # every man participates
+            for j in range(iterations):
+                if not vec.needs_run(all_mask):
+                    self._charge_skipped_quantile_matches(iterations - j)
+                    break
+                self.quantile_match(all_mask)
+                executed += 1
+        else:
+            for j in range(iterations):
+                participating = [
+                    m for m in range(self.n_men) if not self.removed[m]
+                ]
+                if not self._needs_run(participating):
+                    self._charge_skipped_quantile_matches(iterations - j)
+                    break
+                self.quantile_match(participating)
+                executed += 1
         self.outer_stats.append(
             OuterIterationStats(
                 index=0,
@@ -991,7 +1180,7 @@ def asm(
     check_invariants: bool = False,
     observer: Optional[ASMObserver] = None,
     telemetry: Optional[Telemetry] = None,
-    optimized: bool = True,
+    optimized: Union[bool, str] = True,
 ) -> ASMResult:
     """Run deterministic ``ASM(P, ε, n)`` (Theorem 1 / Theorem 3).
 

@@ -87,6 +87,7 @@ class PreferenceProfile:
         "_women_rank",
         "_num_edges",
         "_edges_cache",
+        "_soa_cache",
     )
 
     def __init__(
@@ -109,6 +110,12 @@ class PreferenceProfile:
         self._check_symmetry()
         self._num_edges = sum(len(lst) for lst in self._men_prefs)
         self._edges_cache: Optional[FrozenSet[Tuple[int, int]]] = None
+        # Struct-of-arrays compilations keyed by quantile count k (see
+        # repro.vec.compile).  Kept here so repeated vec runs over the
+        # same immutable profile share one set of frozen arrays; this
+        # module never imports numpy — the dict holds whatever the vec
+        # compiler stores (always read-only views, see soa_cache()).
+        self._soa_cache: Dict[int, object] = {}
 
     def _check_symmetry(self) -> None:
         """Verify that ``w in P_m`` if and only if ``m in P_w``."""
@@ -164,6 +171,17 @@ class PreferenceProfile:
                 (m, w) for m, lst in enumerate(self._men_prefs) for w in lst
             )
         return self._edges_cache
+
+    def soa_cache(self) -> Dict[int, object]:
+        """The per-profile cache of struct-of-arrays compilations.
+
+        Keyed by quantile count ``k``; values are
+        :class:`repro.vec.compile.VecProfile` instances whose arrays are
+        frozen (``writeable=False``), so sharing one compilation across
+        engines cannot let a caller corrupt another engine's view —
+        the same contract :meth:`edges` keeps by returning a frozenset.
+        """
+        return self._soa_cache
 
     def iter_edges(self) -> Iterable[Tuple[int, int]]:
         """Iterate over ``(man, woman)`` edges without materializing a set."""

@@ -20,11 +20,12 @@ behavior for that player, as noted after Algorithm 1.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+from functools import lru_cache
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import InvalidParameterError
 
-__all__ = ["quantile_index", "QuantizedList"]
+__all__ = ["quantile_index", "quantile_boundaries", "QuantizedList"]
 
 
 def quantile_index(rank: int, degree: int, k: int) -> int:
@@ -54,6 +55,24 @@ def quantile_index(rank: int, degree: int, k: int) -> int:
         )
     # ceil(rank * k / degree) without floating point.
     return -(-rank * k // degree)
+
+
+@lru_cache(maxsize=4096)
+def quantile_boundaries(degree: int, k: int) -> Tuple[int, ...]:
+    """``(quantile_index(1, degree, k), …, quantile_index(degree, degree, k))``.
+
+    The rank → quantile map depends only on ``(degree, k)``, and real
+    markets have few distinct degrees (one for complete or
+    bounded-degree profiles), so the per-rank ceiling arithmetic is
+    computed once per ``(degree, k)`` and shared by every
+    :class:`QuantizedList` — and by the :mod:`repro.vec` compiler —
+    instead of being redone per player per construction.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"quantile count k must be >= 1, got {k}")
+    if degree < 0:
+        raise InvalidParameterError(f"degree must be >= 0, got {degree}")
+    return tuple(-(-rank * k // degree) for rank in range(1, degree + 1))
 
 
 class QuantizedList:
@@ -92,9 +111,10 @@ class QuantizedList:
         quantile_of: Dict[int, int] = {}
         members: List[Set[int]] = [set() for _ in range(k + 1)]  # 1-based
         degree = self._degree
-        for pos, u in enumerate(ordered_partners):
-            # Inline quantile_index (hot path: called |E| times per run).
-            q = -(-(pos + 1) * k // degree) if degree else 1
+        # Shared per-(degree, k) boundary tuple: one cache probe replaces
+        # |E| ceiling computations across a profile's construction.
+        boundaries = quantile_boundaries(degree, k)
+        for u, q in zip(ordered_partners, boundaries):
             quantile_of[u] = q
             members[q].add(u)
         if len(quantile_of) != degree:

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.asm import asm, params_for_eps
 from repro.core.matching import Matching, MutableMatching
@@ -136,6 +136,14 @@ class DynamicMatchingEngine:
         With ``False`` the engine applies structural deltas only — no
         repair, no fallback.  This is the measurement control the
         bench uses to replay a stream and time full re-runs against.
+    solver_optimized:
+        Forwarded as ``optimized=`` to every full ASM solve (warm
+        start and SLO fallbacks): ``True``/``False`` select the
+        pure-Python fast/reference paths, ``"vec"`` the numpy
+        struct-of-arrays engine — at n ≥ 10⁵ the vec solver keeps
+        fallback latency in seconds instead of minutes.  All three
+        produce bit-identical matchings, so the choice never changes
+        the trajectory.
 
     Examples
     --------
@@ -158,6 +166,7 @@ class DynamicMatchingEngine:
         telemetry: Optional[Telemetry] = None,
         warm_start: bool = True,
         auto_repair: bool = True,
+        solver_optimized: Union[bool, str] = True,
     ) -> None:
         params_for_eps(eps)  # validates 0 < eps <= 1
         if repair_radius < 0:
@@ -177,6 +186,7 @@ class DynamicMatchingEngine:
         )
         self.slo = slo or StabilitySLO(target_eps=eps, deadline_rounds=0)
         self.auto_repair = auto_repair
+        self.solver_optimized = solver_optimized
         self.telemetry = telemetry or NULL_TELEMETRY
         self.market = DynamicMarket(prefs)
         self.index = DynamicBlockingIndex(self.market)
@@ -439,7 +449,12 @@ class DynamicMatchingEngine:
     def _full_restabilize(self) -> None:
         """Freeze the market, run full ASM, adopt its matching."""
         frozen = self.market.freeze()
-        result = asm(frozen, self.eps, telemetry=self.telemetry)
+        result = asm(
+            frozen,
+            self.eps,
+            telemetry=self.telemetry,
+            optimized=self.solver_optimized,
+        )
         partner = [
             result.matching.partner_of_man(m)
             for m in range(self.market.n_men)

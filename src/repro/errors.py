@@ -48,6 +48,17 @@ class ProtocolViolationError(ReproError):
     """
 
 
+class VecUnavailableError(ReproError):
+    """Raised when the vectorized engine is requested without numpy.
+
+    The struct-of-arrays backend (:mod:`repro.vec`) needs numpy, which
+    is an optional extra (``pip install repro[fast]``).  Stdlib-only
+    installs keep the pure-Python ``optimized=True/False`` paths; asking
+    for ``optimized="vec"`` raises this error so callers can fall back
+    explicitly instead of silently running a different engine.
+    """
+
+
 class SimulationError(ReproError):
     """Raised when the CONGEST simulator reaches an inconsistent state.
 

@@ -50,9 +50,11 @@ from repro.workloads.generators import GENERATORS, gnp_incomplete
 __all__ = [
     "BENCH_KIND",
     "WORKLOAD_MATRIX",
+    "VEC_MATRIX",
     "run_bench",
     "run_index_vs_oracle",
     "run_dynamic_vs_full",
+    "run_vec_suite",
     "compare_reports",
     "provenance_warnings",
 ]
@@ -122,7 +124,49 @@ DYNAMIC_VS_FULL_SCALES: Dict[str, Dict[str, Any]] = {
         "n": 120, "d": 6, "steps": 16, "full_samples": 4,
         "seed": 23, "eps": 0.5,
     },
+    # The vec-arm raise (part of the vec suite, not the main gate): one
+    # order of magnitude above "full", runnable only because every full
+    # solve — warm start, SLO fallbacks, and the control arm — goes
+    # through the numpy engine (``solver="vec"``).  The n=10⁴ "full"
+    # gate above is deliberately untouched so the pure-Python
+    # comparison baseline stays stable.
+    "full_vec": {
+        "n": 100_000, "d": 8, "steps": 20, "full_samples": 2,
+        "seed": 23, "eps": 0.5, "solver": "vec",
+    },
 }
+
+#: The vec-engine matrix (``run_vec_suite``): the ``dual`` case runs
+#: the pure-Python optimized engine and the numpy struct-of-arrays
+#: engine on the same workload, asserts their results are identical,
+#: and reports the speedup; ``vec``-mode cases run the numpy engine
+#: alone at scales the Python engines cannot reach in bench time.
+#: ``smoke`` keeps the n=10⁴ dual case (the acceptance gate) and drops
+#: the larger scales.
+VEC_MATRIX: Tuple[Dict[str, Any], ...] = (
+    {
+        "name": "vec_dual_1e4",
+        "mode": "dual",
+        "eps": 0.5,
+        "full": {"n": 10_000, "d": 8, "seed": 42},
+        "smoke": {"n": 10_000, "d": 8, "seed": 42},
+    },
+    {
+        "name": "vec_scale_1e5",
+        "mode": "vec",
+        "eps": 0.5,
+        "full": {"n": 100_000, "d": 8, "seed": 42},
+    },
+    {
+        # A single timed run: at n=10⁶ the solve is tens of seconds and
+        # deterministic counters, not timing noise, are the gate.
+        "name": "vec_scale_1e6",
+        "mode": "vec",
+        "eps": 0.5,
+        "max_repeats": 1,
+        "full": {"n": 1_000_000, "d": 8, "seed": 42},
+    },
+)
 
 
 def _run_case(case: Dict[str, Any], scale: str, repeats: int) -> Dict[str, Any]:
@@ -249,6 +293,7 @@ def run_dynamic_vs_full(scale: str = "full") -> Dict[str, Any]:
             f"known: {sorted(DYNAMIC_VS_FULL_SCALES)}"
         )
     cfg = DYNAMIC_VS_FULL_SCALES[scale]
+    solver = cfg.get("solver", True)
     prefs = GENERATORS["bounded"](cfg["n"], cfg["d"], cfg["seed"])
     deltas = churn_stream(
         prefs, ChurnConfig(steps=cfg["steps"]), cfg["seed"]
@@ -257,7 +302,7 @@ def run_dynamic_vs_full(scale: str = "full") -> Dict[str, Any]:
 
     # Incremental arm (timed): warm start outside the timed section —
     # the steady-state per-delta cost is the claim under test.
-    engine = DynamicMatchingEngine(prefs, eps)
+    engine = DynamicMatchingEngine(prefs, eps, solver_optimized=solver)
     t0 = time.perf_counter()
     engine.apply_stream(deltas)
     incremental_seconds = time.perf_counter() - t0
@@ -283,7 +328,7 @@ def run_dynamic_vs_full(scale: str = "full") -> Dict[str, Any]:
         if i % sample_every == 0 and len(full_seconds) < cfg["full_samples"]:
             frozen = shadow.market.freeze()
             t0 = time.perf_counter()
-            asm(frozen, eps)
+            asm(frozen, eps, optimized=solver)
             full_seconds.append(time.perf_counter() - t0)
 
     per_delta_incremental = (
@@ -297,6 +342,7 @@ def run_dynamic_vs_full(scale: str = "full") -> Dict[str, Any]:
         "d": cfg["d"],
         "seed": cfg["seed"],
         "eps": eps,
+        "solver": "vec" if solver == "vec" else "python",
         "deltas": len(deltas),
         "full_samples": len(full_seconds),
         "incremental_seconds": incremental_seconds,
@@ -317,6 +363,97 @@ def run_dynamic_vs_full(scale: str = "full") -> Dict[str, Any]:
         "eps_ok": eps_ok,
         "index_agrees": index_agrees,
     }
+
+
+def run_vec_suite(scale: str = "full", repeats: int = 3) -> Dict[str, Any]:
+    """Execute the :data:`VEC_MATRIX` and the vec dynamic-vs-full case.
+
+    Returns ``{"available": False, "reason": ...}`` when numpy is not
+    installed — the suite is an optional extra (``repro[fast]``), so
+    its absence is reported, never an error, and
+    :func:`compare_reports` skips vec gating for such reports.
+
+    For every case the *cold* wall time includes compiling the profile
+    to struct-of-arrays form; the reported ``wall_seconds`` is the best
+    of ``repeats`` warm runs (the compilation is cached on the profile,
+    mirroring how a service amortizes it across solves).  ``dual``-mode
+    cases also run the pure-Python optimized engine on the same
+    workload, hard-assert result identity, and report the speedup.
+    """
+    from repro.vec import HAS_NUMPY, VecUnavailableError
+
+    if not HAS_NUMPY:
+        try:  # raise for the canonical message, not a handcrafted copy
+            from repro.vec import require_numpy
+
+            require_numpy()
+        except VecUnavailableError as exc:
+            return {"available": False, "reason": str(exc), "cases": []}
+
+    from repro.vec.stability import count_blocking_pairs_vec
+
+    cases: List[Dict[str, Any]] = []
+    for case in VEC_MATRIX:
+        if scale not in case:
+            continue
+        params = dict(case[scale])
+        eps = case["eps"]
+        case_repeats = min(repeats, case.get("max_repeats", repeats))
+        prefs = GENERATORS["bounded"](**params)
+
+        t0 = time.perf_counter()
+        result = asm(prefs, eps, optimized="vec")
+        cold = time.perf_counter() - t0
+        wall = cold
+        for _ in range(max(0, case_repeats - 1)):
+            t0 = time.perf_counter()
+            result = asm(prefs, eps, optimized="vec")
+            elapsed = time.perf_counter() - t0
+            wall = min(wall, elapsed)
+
+        blocking = count_blocking_pairs_vec(prefs, result.matching.pairs())
+        entry: Dict[str, Any] = {
+            "name": case["name"],
+            "mode": case["mode"],
+            "params": params,
+            "eps": eps,
+            "wall_seconds": wall,
+            "cold_wall_seconds": cold,
+            "counters": {
+                "num_edges": result.num_edges,
+                "matching_size": len(result.matching),
+                "blocking_pairs": blocking,
+                "rounds_active": result.rounds.rounds_active,
+                "rounds_scheduled": result.rounds.rounds_scheduled,
+                "synchronous_time": result.synchronous_time,
+                "proposal_rounds_executed": result.proposal_rounds_executed,
+                "messages": (
+                    result.messages.proposes
+                    + result.messages.accepts
+                    + result.messages.rejects
+                ),
+            },
+        }
+
+        if case["mode"] == "dual":
+            opt_wall = None
+            for _ in range(case_repeats):
+                t0 = time.perf_counter()
+                opt_result = asm(prefs, eps, optimized=True)
+                elapsed = time.perf_counter() - t0
+                if opt_wall is None or elapsed < opt_wall:
+                    opt_wall = elapsed
+            entry["optimized_wall_seconds"] = opt_wall
+            entry["speedup"] = (opt_wall / wall) if wall else 0.0
+            entry["results_identical"] = (
+                opt_result.to_dict() == result.to_dict()
+            )
+        cases.append(entry)
+
+    suite: Dict[str, Any] = {"available": True, "cases": cases}
+    if "full_vec" in DYNAMIC_VS_FULL_SCALES and scale == "full":
+        suite["dynamic_vs_full_vec"] = run_dynamic_vs_full("full_vec")
+    return suite
 
 
 # ----------------------------------------------------------------------
@@ -444,6 +581,10 @@ def run_bench(
         "cases": outcomes[:-2],
         "index_vs_oracle": outcomes[-2],
         "dynamic_vs_full": outcomes[-1],
+        # In-process and serial (the numpy engine is fast enough that
+        # sharding would only blur the timings); reports
+        # available=False cleanly on numpy-absent installs.
+        "vec": run_vec_suite(scale, repeats),
         "max_rss_kb": _max_rss_kb(),
         "provenance": {
             "workers": workers,
@@ -542,6 +683,69 @@ def compare_reports(
             if dvf_cur.get(key) != dvf_base.get(key):
                 violations.append(
                     f"dynamic_vs_full: {key} changed "
+                    f"({dvf_base.get(key)} -> {dvf_cur.get(key)})"
+                )
+    violations.extend(_compare_vec(current, baseline, tolerance))
+    return violations
+
+
+def _compare_vec(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float,
+) -> List[str]:
+    """Vec-suite violations; empty when either side lacks the suite.
+
+    numpy is an optional extra, so a report with
+    ``vec.available == False`` (or predating the suite) is a valid
+    environment difference, not a regression — gating applies only
+    when both reports actually ran the suite.  Result identity between
+    the optimized and vec engines, however, is checked whenever the
+    *current* report ran a dual case: a divergence is a correctness
+    bug regardless of what the baseline saw.
+    """
+    violations: List[str] = []
+    vec_cur = current.get("vec") or {}
+    vec_base = baseline.get("vec") or {}
+    for case in vec_cur.get("cases", []):
+        if case.get("mode") == "dual" and not case.get("results_identical"):
+            violations.append(
+                f"vec/{case['name']}: optimized and vec engine results "
+                "diverged (bit-identity contract broken)"
+            )
+    if not (vec_cur.get("available") and vec_base.get("available")):
+        return violations
+    base_cases = {c["name"]: c for c in vec_base.get("cases", [])}
+    cur_cases = {c["name"]: c for c in vec_cur.get("cases", [])}
+    for name, base in base_cases.items():
+        cur = cur_cases.get(name)
+        if cur is None:
+            violations.append(f"vec/{name}: missing from current report")
+            continue
+        if cur["counters"] != base["counters"]:
+            diffs = [
+                f"{key}: {base['counters'][key]} -> {cur['counters'].get(key)}"
+                for key in base["counters"]
+                if cur["counters"].get(key) != base["counters"][key]
+            ]
+            violations.append(
+                f"vec/{name}: deterministic counters changed "
+                f"({'; '.join(diffs)})"
+            )
+    dvf_base = vec_base.get("dynamic_vs_full_vec")
+    dvf_cur = vec_cur.get("dynamic_vs_full_vec")
+    if dvf_base and dvf_cur:
+        for key in (
+            "deltas",
+            "fallbacks",
+            "marriages",
+            "final_blocking_pairs",
+            "final_matching_size",
+            "final_num_edges",
+        ):
+            if dvf_cur.get(key) != dvf_base.get(key):
+                violations.append(
+                    f"vec/dynamic_vs_full_vec: {key} changed "
                     f"({dvf_base.get(key)} -> {dvf_cur.get(key)})"
                 )
     return violations

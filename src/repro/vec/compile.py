@@ -1,0 +1,236 @@
+"""Compile a :class:`PreferenceProfile` into flat struct-of-arrays form.
+
+The ASM hot path asks four questions per edge per round — who owns it,
+which quantile is it in for each endpoint, is it still present, and what
+is the partner's id under the deterministic maximal-matching order.
+:class:`VecProfile` answers all of them with O(1) array gathers:
+
+* CSR adjacency per side (``m_indptr``/``m_woman``, ``w_indptr``/
+  ``w_man``) in preference order, so ranks are implicit in position;
+* dense per-edge quantile tables (``m_quant``, ``w_quant``) — the
+  precomputed form of :func:`repro.core.quantile.quantile_index`;
+* cross-side position maps (``m2w_pos``/``w2m_pos``) aligning the two
+  CSR views of the same edge;
+* ``w_first_same_q`` — for each woman-side position, the first position
+  of its quantile run, turning Step 4's "reject every man in a
+  lesser-or-equal quantile" into a contiguous suffix slice (quantiles
+  are non-decreasing along a preference list);
+* ``m_mm_key``/``w_mm_key`` — integer keys whose order matches the
+  ``repr``-of-node-id order the deterministic maximal-matching oracle
+  ties-breaks by, so Step 3 runs without materializing any strings.
+
+Every array is frozen (``writeable=False``): compilations are cached on
+the profile (:meth:`PreferenceProfile.soa_cache`) and shared across
+engines, so no caller may mutate another's view.
+
+All ids fit comfortably in int64; arrays use int64 throughout for
+uniformity (index gathers accept it natively).
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.vec import require_numpy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.preferences import PreferenceProfile
+
+try:  # numpy is optional (repro[fast]); guarded like the package init.
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+__all__ = ["VecProfile", "compile_profile", "decimal_str_order_keys"]
+
+
+def decimal_str_order_keys(n: int) -> "np.ndarray":
+    """Integer keys for ``0..n-1`` ordered like ``sorted(range(n), key=str)``.
+
+    The deterministic maximal-matching oracle breaks ties by
+    ``repr(node)``; within one side, ``repr(("M", i))`` ordering reduces
+    to lexicographic ordering of ``str(i)`` (the ``")"`` terminator,
+    ``ord(")") < ord("0")``, keeps prefix comparisons consistent).  That
+    order equals comparing the decimal digits padded *right* with zeros
+    to a common width, with ties (one string a zero-extension of the
+    other's value scale, e.g. ``"1"`` vs ``"10"``) broken by fewer
+    digits first.  Both parts pack into one int64 key::
+
+        key(i) = i * 10**(maxd - digits(i)) * 32 + digits(i)
+
+    which is strictly monotone in the string order and unique.
+    """
+    ids = np.arange(n, dtype=np.int64)
+    digits = np.ones(n, dtype=np.int64)
+    v = ids // 10
+    while v.size and int(v.max()) > 0:
+        digits += v > 0
+        v //= 10
+    maxd = int(digits.max()) if n else 1
+    padded = ids * (10 ** (maxd - digits))
+    return padded * 32 + digits
+
+
+def _csr_from_lists(
+    lists: Sequence[Sequence[int]], k: int
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray", "np.ndarray"]:
+    """``(indptr, targets, owner, quant)`` for one side's preference lists."""
+    n = len(lists)
+    lens = np.fromiter((len(lst) for lst in lists), dtype=np.int64, count=n)
+    num_edges = int(lens.sum())
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(lens, out=indptr[1:])
+    targets = np.fromiter(
+        chain.from_iterable(lists), dtype=np.int64, count=num_edges
+    )
+    owner = np.repeat(np.arange(n, dtype=np.int64), lens)
+    # rank r in 1..deg per position; quantile = ceil(r*k/deg), all integer.
+    deg_rep = np.repeat(lens, lens)
+    rank = np.arange(num_edges, dtype=np.int64) - np.repeat(indptr[:-1], lens) + 1
+    quant = (rank * k + deg_rep - 1) // deg_rep if num_edges else rank
+    return indptr, targets, owner, quant
+
+
+class VecProfile:
+    """Frozen struct-of-arrays compilation of one profile at one ``k``.
+
+    Built by :func:`compile_profile`; see the module docstring for the
+    role of each array.  ``pair_position`` additionally offers an
+    O(log |E|) vectorized (man, woman) → man-side-position lookup, built
+    lazily (only the stability counter needs it).
+    """
+
+    __slots__ = (
+        "n_men",
+        "n_women",
+        "num_edges",
+        "k",
+        "m_indptr",
+        "m_woman",
+        "m_owner",
+        "m_quant",
+        "m_degree",
+        "w_indptr",
+        "w_man",
+        "w_owner",
+        "w_quant",
+        "w_degree",
+        "m2w_pos",
+        "w2m_pos",
+        "wq_of_edge",
+        "w_first_same_q",
+        "m_mm_key",
+        "w_mm_key",
+        "_pair_keys",
+        "_pair_order",
+    )
+
+    def __init__(self, prefs: "PreferenceProfile", k: int) -> None:
+        if k < 1:
+            raise InvalidParameterError(f"quantile count k must be >= 1, got {k}")
+        self.n_men = prefs.n_men
+        self.n_women = prefs.n_women
+        self.num_edges = prefs.num_edges
+        self.k = k
+
+        men_lists = [prefs.man_list(m) for m in range(self.n_men)]
+        women_lists = [prefs.woman_list(w) for w in range(self.n_women)]
+        self.m_indptr, self.m_woman, self.m_owner, self.m_quant = _csr_from_lists(
+            men_lists, k
+        )
+        self.w_indptr, self.w_man, self.w_owner, self.w_quant = _csr_from_lists(
+            women_lists, k
+        )
+        self.m_degree = np.diff(self.m_indptr)
+        self.w_degree = np.diff(self.w_indptr)
+
+        # Align the two CSR views of each edge by sorting both sides by
+        # (woman, man); matching sort positions are the same edge.
+        e = self.num_edges
+        order_m = np.lexsort((self.m_owner, self.m_woman))
+        order_w = np.lexsort((self.w_man, self.w_owner))
+        self.m2w_pos = np.empty(e, dtype=np.int64)
+        self.w2m_pos = np.empty(e, dtype=np.int64)
+        self.m2w_pos[order_m] = order_w
+        self.w2m_pos[order_w] = order_m
+        self.wq_of_edge = self.w_quant[self.m2w_pos]
+
+        # First position of each quantile run within a woman's segment:
+        # quantiles are non-decreasing along a list, so "members at
+        # quantile >= q(pos)" is exactly the suffix from this index.
+        if e:
+            idx = np.arange(e, dtype=np.int64)
+            boundary = np.zeros(e, dtype=bool)
+            starts = self.w_indptr[:-1][self.w_degree > 0]
+            boundary[starts] = True
+            boundary[1:] |= self.w_quant[1:] != self.w_quant[:-1]
+            self.w_first_same_q = np.maximum.accumulate(
+                np.where(boundary, idx, 0)
+            )
+        else:
+            self.w_first_same_q = np.empty(0, dtype=np.int64)
+
+        self.m_mm_key = decimal_str_order_keys(self.n_men)
+        self.w_mm_key = decimal_str_order_keys(self.n_women)
+
+        self._pair_keys: Optional["np.ndarray"] = None
+        self._pair_order: Optional["np.ndarray"] = None
+
+        for name in (
+            "m_indptr",
+            "m_woman",
+            "m_owner",
+            "m_quant",
+            "m_degree",
+            "w_indptr",
+            "w_man",
+            "w_owner",
+            "w_quant",
+            "w_degree",
+            "m2w_pos",
+            "w2m_pos",
+            "wq_of_edge",
+            "w_first_same_q",
+            "m_mm_key",
+            "w_mm_key",
+        ):
+            getattr(self, name).flags.writeable = False
+
+    def pair_position(
+        self, men: "np.ndarray", women: "np.ndarray"
+    ) -> "np.ndarray":
+        """Man-side CSR positions of the edges ``(men[i], women[i])``.
+
+        Every queried pair must be an edge of the profile; positions of
+        non-edges are undefined.  Lazily builds (and caches) a
+        sorted-key index over all edges.
+        """
+        if self._pair_keys is None:
+            keys = self.m_owner * max(self.n_women, 1) + self.m_woman
+            order = np.argsort(keys, kind="stable")
+            keys = keys[order]
+            keys.flags.writeable = False
+            order.flags.writeable = False
+            self._pair_keys = keys
+            self._pair_order = order
+        q = men.astype(np.int64) * max(self.n_women, 1) + women
+        return self._pair_order[np.searchsorted(self._pair_keys, q)]
+
+
+def compile_profile(prefs: "PreferenceProfile", k: int) -> VecProfile:
+    """The (cached) struct-of-arrays compilation of ``prefs`` at ``k``.
+
+    Compilations are stored in the profile's
+    :meth:`~repro.core.preferences.PreferenceProfile.soa_cache`, so
+    every engine over the same immutable profile shares one frozen set
+    of arrays per ``k``.
+    """
+    require_numpy()
+    cache = prefs.soa_cache()
+    compiled = cache.get(k)
+    if not isinstance(compiled, VecProfile):
+        compiled = VecProfile(prefs, k)
+        cache[k] = compiled
+    return compiled
