@@ -53,6 +53,7 @@ from repro.baselines.truncated_gs import truncated_gale_shapley
 from repro.core.almost_regular import almost_regular_asm
 from repro.core.asm import asm
 from repro.core.rand_asm import rand_asm
+from repro.errors import InvalidParameterError
 from repro.obs.manifest import RunManifest
 from repro.obs.telemetry import Telemetry
 from repro.parallel import TrialPool
@@ -208,6 +209,67 @@ def _add_fault_flags(
                              help="write the deterministic fault trace as "
                              "JSON (activates the injector even with all "
                              "rates 0)")
+
+
+def _add_transport_flags(parser: argparse.ArgumentParser) -> None:
+    """The delivery-transport flag group (see docs/transport.md)."""
+    group = parser.add_argument_group(
+        "transport",
+        "delivery transport: when sent messages land in inboxes "
+        "(default sync lockstep; see docs/transport.md)",
+    )
+    group.add_argument(
+        "--transport",
+        choices=["sync", "async", "sharded"],
+        default="sync",
+        help="delivery backend (default sync)",
+    )
+    group.add_argument(
+        "--latency-dist",
+        default="zero",
+        metavar="SPEC",
+        help="per-link latency model: zero, fixed:K, uniform:LO-HI, "
+        "perlink:LO-HI, geometric:P:CAP (async/sharded only; "
+        "default zero)",
+    )
+    group.add_argument(
+        "--link-seed",
+        type=int,
+        default=0,
+        help="root seed for latency draws (default 0)",
+    )
+    group.add_argument(
+        "--transport-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes for sharded latency draws (default 2)",
+    )
+
+
+def _build_transport(args: argparse.Namespace):
+    """Instantiate the requested transport, or None for plain sync.
+
+    A fresh instance per call: transports bind to exactly one
+    simulator run.
+    """
+    from repro.congest.transport import AsyncEventTransport, ShardedTransport
+    from repro.workloads.latency import parse_latency
+
+    latency = parse_latency(args.latency_dist)
+    if args.transport == "sync":
+        if latency.bound() > 0:
+            raise InvalidParameterError(
+                f"--latency-dist {args.latency_dist!r} needs "
+                f"--transport async or sharded (sync delivery has no "
+                f"latency)"
+            )
+        return None
+    if args.transport == "async":
+        return AsyncEventTransport(latency, link_seed=args.link_seed)
+    return ShardedTransport(
+        latency, link_seed=args.link_seed, workers=args.transport_workers
+    )
 
 
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
@@ -464,6 +526,11 @@ def _cmd_congest(args: argparse.Namespace) -> int:
     )
 
     prefs = _make_workload(args.workload, args.n, args.seed)
+    try:
+        transport = _build_transport(args)
+    except InvalidParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     fault_active = (
         args.drop_rate > 0
         or args.duplicate_rate > 0
@@ -500,12 +567,15 @@ def _cmd_congest(args: argparse.Namespace) -> int:
     if telemetry is not None and telemetry.manifest is not None \
             and plan is not None:
         telemetry.manifest.record_fault_plan(plan)
+    if telemetry is not None and telemetry.manifest is not None \
+            and transport is not None:
+        telemetry.manifest.record_transport(transport)
     t0 = time.perf_counter()
     fault_trace: List[Dict[str, Any]] = []
     fault_row: Dict[str, Any] = {}
     if args.protocol == "gale-shapley":
         matching, sim = run_congest_gale_shapley(
-            prefs, telemetry=telemetry, faults=plan
+            prefs, telemetry=telemetry, faults=plan, transport=transport
         )
         stats = sim.stats
         if plan is not None and sim.faults is not None:
@@ -526,6 +596,7 @@ def _cmd_congest(args: argparse.Namespace) -> int:
             outer_iterations=args.outer,
             mm_iterations=args.mm_iterations,
             faults=plan,
+            transport=transport,
         )
         if args.protocol == "asm":
             result = run_congest_asm(prefs, args.eps, seed=args.seed,
@@ -542,6 +613,7 @@ def _cmd_congest(args: argparse.Namespace) -> int:
                 mm_iterations=args.mm_iterations,
                 telemetry=telemetry,
                 faults=plan,
+                transport=transport,
             )
         matching, stats = result.matching, result.stats
         if plan is not None:
@@ -589,6 +661,12 @@ def _cmd_congest(args: argparse.Namespace) -> int:
         "total_bits": stats.total_bits,
         "max_msg_bits": stats.max_message_bits,
     }
+    if transport is not None:
+        # Extra columns only under a non-default transport, so default
+        # runs (and their golden outputs) print exactly as before.
+        row["transport"] = transport.kind
+        row["deferred"] = transport.deferred
+        row["in_flight"] = transport.in_flight()
     row.update(fault_row)
     row["seconds"] = time.perf_counter() - t0
     print(
@@ -1300,6 +1378,7 @@ def build_parser() -> argparse.ArgumentParser:
     con_p.add_argument("--mm-iterations", type=int, default=16,
                        help="matching-phase iteration budget")
     _add_fault_flags(con_p, trace_out=True)
+    _add_transport_flags(con_p)
     _add_telemetry_flags(con_p)
     con_p.set_defaults(func=_cmd_congest)
 

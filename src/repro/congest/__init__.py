@@ -19,13 +19,23 @@ algorithms, and ASM itself, cross-validated against the logical engine.
 from repro.congest.message import MESSAGE_SCHEMAS, Message, MessageSchema
 from repro.congest.recorder import MessageEvent, MessageRecorder
 from repro.congest.simulator import SimulationStats, Simulator
+from repro.congest.transport import (
+    AsyncEventTransport,
+    ShardedTransport,
+    SyncTransport,
+    Transport,
+)
 
 __all__ = [
     "MESSAGE_SCHEMAS",
+    "AsyncEventTransport",
     "Message",
     "MessageEvent",
     "MessageRecorder",
     "MessageSchema",
+    "ShardedTransport",
     "SimulationStats",
     "Simulator",
+    "SyncTransport",
+    "Transport",
 ]

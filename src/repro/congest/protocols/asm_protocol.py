@@ -312,13 +312,16 @@ def run_congest_asm(
     recorder=None,
     telemetry=None,
     faults: Optional[FaultPlan] = None,
+    transport=None,
 ) -> CongestASMResult:
     """Run ASM at the message level over the CONGEST simulator.
 
     With ``faults``, the run degrades gracefully instead of raising on
     inconsistency: the result reports the mutually confirmed matching,
     unresolved nodes, retry counts, and the deterministic fault trace
-    (see :class:`CongestASMResult` and ``docs/robustness.md``).
+    (see :class:`CongestASMResult` and ``docs/robustness.md``).  A
+    ``transport`` that reorders delivery (nonzero latency — see
+    ``docs/transport.md``) gets the same tolerant treatment.
 
     Defaults follow the paper: ``k = ⌈8/ε⌉``, ``δ = ε/8``, inner loop
     ``⌈2δ⁻¹k⌉``, outer loop ``⌈log₂ n⌉ + 1``, and a maximal-matching
@@ -349,7 +352,8 @@ def run_congest_asm(
         seed=seed,
     )
     return _run_with_schedule(
-        prefs, sched, recorder=recorder, telemetry=telemetry, faults=faults
+        prefs, sched, recorder=recorder, telemetry=telemetry, faults=faults,
+        transport=transport,
     )
 
 
@@ -365,6 +369,7 @@ def run_congest_rand_asm(
     recorder=None,
     telemetry=None,
     faults: Optional[FaultPlan] = None,
+    transport=None,
 ) -> CongestASMResult:
     """RandASM (Theorem 5) at the message level.
 
@@ -394,6 +399,7 @@ def run_congest_rand_asm(
         recorder=recorder,
         telemetry=telemetry,
         faults=faults,
+        transport=transport,
     )
 
 
@@ -410,6 +416,7 @@ def run_congest_almost_regular_asm(
     recorder=None,
     telemetry=None,
     faults: Optional[FaultPlan] = None,
+    transport=None,
 ) -> CongestASMResult:
     """AlmostRegularASM (Theorem 6) at the message level.
 
@@ -442,7 +449,8 @@ def run_congest_almost_regular_asm(
         remove_violators=True,
     )
     return _run_with_schedule(
-        prefs, sched, recorder=recorder, telemetry=telemetry, faults=faults
+        prefs, sched, recorder=recorder, telemetry=telemetry, faults=faults,
+        transport=transport,
     )
 
 
@@ -452,6 +460,7 @@ def _run_with_schedule(
     recorder=None,
     telemetry=None,
     faults: Optional[FaultPlan] = None,
+    transport=None,
 ) -> CongestASMResult:
     """Build the node programs for ``sched`` and run the simulation."""
     graph = bipartite_graph_from_edges(
@@ -472,8 +481,14 @@ def _run_with_schedule(
             w, prefs.woman_list(w), sched, rng, tally
         )
     sim = Simulator(
-        graph, programs, recorder=recorder, telemetry=telemetry, faults=faults
+        graph, programs, recorder=recorder, telemetry=telemetry,
+        faults=faults, transport=transport,
     )
+    # A reordering transport (nonzero latency) degrades runs the same
+    # way fault injection does: late messages can leave one-sided
+    # views, so assembly must be tolerant.  Zero-latency transports
+    # keep the strict path — and its bit-identity to the sync default.
+    reordering = transport is not None and transport.reorders
     tracer = telemetry.tracer if telemetry is not None else None
     span_id = (
         tracer.open_span(
@@ -488,7 +503,7 @@ def _run_with_schedule(
         else None
     )
     try:
-        if faults is not None:
+        if faults is not None or reordering:
             # The schedule is finite, so the run always terminates; the
             # bound is a backstop, and "stop" keeps degraded runs
             # reporting instead of raising.
@@ -505,7 +520,7 @@ def _run_with_schedule(
             )
     if telemetry is not None and telemetry.enabled and tally.count > 0:
         telemetry.metrics.inc("congest.retries", tally.count)
-    if faults is None:
+    if faults is None and not reordering:
         # Assemble the matching from the women's outputs and
         # cross-check against the men's view.
         pairs = []
@@ -528,9 +543,9 @@ def _run_with_schedule(
             schedule=sched,
             retries=tally.count,
         )
-    # Tolerant assembly under fault injection: keep only mutually
-    # confirmed pairs; report everyone else (crashed, timed out, or
-    # with a one-sided view) as unresolved.
+    # Tolerant assembly under fault injection or reordered delivery:
+    # keep only mutually confirmed pairs; report everyone else
+    # (crashed, timed out, or with a one-sided view) as unresolved.
     crashed = sim.crashed
     pairs = []
     confirmed: Dict[int, int] = {}
@@ -562,7 +577,6 @@ def _run_with_schedule(
         if his is not None and m not in confirmed:
             unresolved_men.append(m)
     injector = sim.faults
-    assert injector is not None
     return CongestASMResult(
         matching=Matching(pairs),
         stats=stats,
@@ -571,8 +585,8 @@ def _run_with_schedule(
         unresolved_women=tuple(sorted(unresolved_women)),
         crashed_nodes=tuple(sorted(repr(v) for v in crashed)),
         retries=tally.count,
-        fault_stats=injector.stats,
-        fault_trace=tuple(injector.records),
+        fault_stats=injector.stats if injector is not None else None,
+        fault_trace=tuple(injector.records) if injector is not None else (),
     )
 
 

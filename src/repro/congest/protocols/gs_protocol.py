@@ -114,6 +114,7 @@ def run_congest_gale_shapley(
     recorder=None,
     telemetry=None,
     faults: Optional[FaultPlan] = None,
+    transport=None,
 ) -> Tuple[Matching, "Simulator"]:
     """Run distributed Gale–Shapley over the simulator.
 
@@ -142,8 +143,13 @@ def run_congest_gale_shapley(
         rank = {m: prefs.rank_of_man(w, m) for m in prefs.woman_list(w)}
         programs[woman_node(w)] = _woman_program(w, rank, iterations, tally)
     sim = Simulator(
-        graph, programs, recorder=recorder, telemetry=telemetry, faults=faults
+        graph, programs, recorder=recorder, telemetry=telemetry,
+        faults=faults, transport=transport,
     )
+    # Reordered delivery (nonzero transport latency) degrades runs the
+    # same way fault injection does — keep only mutually confirmed
+    # engagements (docs/transport.md).
+    reordering = transport is not None and transport.reorders
     tracer = telemetry.tracer if telemetry is not None else None
     span_id = (
         tracer.open_span(
@@ -174,7 +180,7 @@ def run_congest_gale_shapley(
         m = sim.results[node]
         if m is None:
             continue
-        if faults is not None:
+        if faults is not None or reordering:
             mnode = man_node(m)
             if mnode in sim.crashed or sim.results.get(mnode) != w:
                 continue

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Mapping, Optional
 
 from repro.congest.message import Message
+from repro.congest.transport import SyncTransport, Transport
 from repro.errors import (
     InvalidParameterError,
     ProtocolViolationError,
@@ -106,6 +107,11 @@ class Simulator:
         delivery (drop/duplicate/delay/partition) and applies node
         crashes at round starts.  A plan with zero rates and no
         crashes leaves the run bit-identical to ``faults=None``.
+    transport:
+        Optional :class:`~repro.congest.transport.Transport` governing
+        *when* sent messages land in inboxes (default
+        :class:`~repro.congest.transport.SyncTransport`, the lockstep
+        semantics above).  See ``docs/transport.md``.
     """
 
     def __init__(
@@ -117,6 +123,7 @@ class Simulator:
         recorder: Optional[Any] = None,
         telemetry: Optional[Telemetry] = None,
         faults: Optional[FaultPlan] = None,
+        transport: Optional[Transport] = None,
     ) -> None:
         self.graph = graph
         for v in programs:
@@ -169,6 +176,13 @@ class Simulator:
         # of a PYTHONHASHSEED-dependent one — the bug shape the lint
         # FLOW rules exist to catch.
         self.crashed: Dict[NodeId, int] = {}
+        # Delivery policy; the default is the lockstep semantics this
+        # module documents.  bind() makes the transport a friend of
+        # this simulator for the duration of the run.
+        self.transport: Transport = (
+            transport if transport is not None else SyncTransport()
+        )
+        self.transport.bind(self)
 
     @property
     def finished(self) -> bool:
@@ -208,6 +222,46 @@ class Simulator:
         if self.recorder is not None:
             self.recorder.on_message(executing_round, sender, recipient, msg)
 
+    def _validate(
+        self,
+        executing_round: int,
+        sender: NodeId,
+        recipient: NodeId,
+        msg: Message,
+    ) -> int:
+        """Check one outgoing message; returns its size in bits.
+
+        Raises :class:`ProtocolViolationError` on a non-Message
+        payload, a non-neighbor recipient, or a bit-cap violation —
+        the three CONGEST-model invariants, each pointing at the
+        static rule that would have caught it pre-run.
+        """
+        if not isinstance(msg, Message):
+            raise ProtocolViolationError(
+                f"round {executing_round}: node {sender!r} sent a "
+                f"non-Message object ({type(msg).__name__}) to "
+                f"{recipient!r} [static check: repro.lint rule "
+                f"MSG001; see docs/static_analysis.md]"
+            )
+        if not self.graph.has_edge(sender, recipient):
+            raise ProtocolViolationError(
+                f"round {executing_round}: node {sender!r} sent a "
+                f"message to non-neighbor {recipient!r} — CONGEST "
+                f"locality violation [static check: repro.lint rule "
+                f"CONGEST002; see docs/static_analysis.md]"
+            )
+        bits = msg.size_bits(self.n)
+        if bits > self.max_message_bits:
+            raise ProtocolViolationError(
+                f"round {executing_round}: message {msg.kind!r} "
+                f"from {sender!r} to {recipient!r} uses {bits} "
+                f"bits; cap is {self.max_message_bits} (O(log n)) "
+                f"[static check: repro.lint rule MSG002/MSG003 "
+                f"bounds payloads against MESSAGE_SCHEMAS; see "
+                f"docs/static_analysis.md]"
+            )
+        return bits
+
     def step(self) -> bool:
         """Execute one synchronous round; returns False once all done."""
         injector = self.faults
@@ -246,8 +300,6 @@ class Simulator:
         observing = telemetry.enabled
         profiling = profiler is not None
         t0 = time.perf_counter() if (observing or profiling) else 0.0
-        round_bits = 0
-        kind_counts: Dict[str, int] = {}
         outboxes: Dict[NodeId, Dict[NodeId, Message]] = {}
         live.sort(key=self._order.__getitem__)
         for v in live:
@@ -261,100 +313,15 @@ class Simulator:
         for v in self._touched_inboxes:
             inboxes[v].clear()
         self._touched_inboxes.clear()
-        round_messages = 0
-        if injector is not None:
-            # Deferred (delayed/duplicated) messages land first, so a
-            # fresh message from the same sender overwrites a stale
-            # copy — deterministic last-write-wins, like the lockstep
-            # delivery below.  Already counted at send time.
-            fault_mark = len(injector.records)
-            for sender, recipient, msg in injector.due(
-                executing_round, self.crashed
-            ):
-                self._deposit(executing_round, sender, recipient, msg)
-                if tracer is not None:
-                    tracer.on_deferred_delivery(
-                        executing_round, repr(sender), repr(recipient),
-                        msg.kind,
-                    )
-            if tracer is not None:
-                # due() recorded a drop_late for every deferred message
-                # it swallowed; retire their trace ids in the same order.
-                for record in injector.records[fault_mark:]:
-                    if record["action"] == "drop_late":
-                        tracer.on_deferred_drop(
-                            record["round"], record["from"], record["to"],
-                            record["message"],
-                        )
-        # Deliver each outbox in node-registration order, not dict
-        # insertion order: programs that broadcast from a set (e.g. the
-        # pointer-MM MM_TAKEN fan-out) would otherwise send in an order
-        # that varies with hash randomization, which breaks the
-        # byte-stable trace guarantee across worker processes.
-        node_order = self._order
-        for sender, outbox in outboxes.items():
-            for recipient in sorted(outbox, key=node_order.__getitem__):
-                msg = outbox[recipient]
-                if not isinstance(msg, Message):
-                    raise ProtocolViolationError(
-                        f"round {executing_round}: node {sender!r} sent a "
-                        f"non-Message object ({type(msg).__name__}) to "
-                        f"{recipient!r} [static check: repro.lint rule "
-                        f"MSG001; see docs/static_analysis.md]"
-                    )
-                if not self.graph.has_edge(sender, recipient):
-                    raise ProtocolViolationError(
-                        f"round {executing_round}: node {sender!r} sent a "
-                        f"message to non-neighbor {recipient!r} — CONGEST "
-                        f"locality violation [static check: repro.lint rule "
-                        f"CONGEST002; see docs/static_analysis.md]"
-                    )
-                bits = msg.size_bits(self.n)
-                if bits > self.max_message_bits:
-                    raise ProtocolViolationError(
-                        f"round {executing_round}: message {msg.kind!r} "
-                        f"from {sender!r} to {recipient!r} uses {bits} "
-                        f"bits; cap is {self.max_message_bits} (O(log n)) "
-                        f"[static check: repro.lint rule MSG002/MSG003 "
-                        f"bounds payloads against MESSAGE_SCHEMAS; see "
-                        f"docs/static_analysis.md]"
-                    )
-                tid = (
-                    tracer.on_send(
-                        executing_round, sender, recipient, msg.kind
-                    )
-                    if tracer is not None
-                    else None
-                )
-                if injector is None:
-                    delivered = True
-                elif tid is None:
-                    delivered = injector.filter_send(
-                        executing_round, sender, recipient, msg, self.crashed
-                    )
-                else:
-                    # Slice the injector trace around the decision so
-                    # the faults that touched this message annotate its
-                    # span.
-                    fault_mark = len(injector.records)
-                    delivered = injector.filter_send(
-                        executing_round, sender, recipient, msg, self.crashed
-                    )
-                    for record in injector.records[fault_mark:]:
-                        tracer.on_fault(tid, record)
-                if delivered:
-                    self._deposit(executing_round, sender, recipient, msg)
-                    if tid is not None:
-                        tracer.on_delivered(recipient, tid)
-                round_messages += 1
-                self.stats.messages += 1
-                self.stats.total_bits += bits
-                self.stats.max_message_bits = max(
-                    self.stats.max_message_bits, bits
-                )
-                if observing or profiling:
-                    round_bits += bits
-                    kind_counts[msg.kind] = kind_counts.get(msg.kind, 0) + 1
+        # Delivery is the transport's job (docs/transport.md): injector
+        # deferrals land first, then transport deferrals, then fresh
+        # sends in canonical node order.
+        kind_counts: Optional[Dict[str, int]] = (
+            {} if (observing or profiling) else None
+        )
+        round_messages, round_bits = self.transport.deliver_round(
+            executing_round, outboxes, kind_counts
+        )
         self.stats.rounds += 1
         self.stats.messages_per_round.append(round_messages)
         if tracer is not None:
@@ -452,6 +419,10 @@ class Simulator:
             self.stats.crashed_nodes = len(self.crashed)
             return self.stats
         finally:
+            # Release transport resources (worker pools); idempotent,
+            # and in-flight messages stay countable via
+            # ``transport.in_flight()``.
+            self.transport.close()
             if sid is not None:
                 tracer.close_span(
                     sid,

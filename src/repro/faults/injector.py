@@ -63,6 +63,13 @@ class FaultInjector:
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         # Deferred deliveries: delivery round -> [(sender, recipient, msg)].
         self._pending: Dict[int, List[Tuple[NodeId, NodeId, Any]]] = {}
+        # Logical message identity: per-round, per-link sequence
+        # counters so repeated filter_send calls on the same link in
+        # the same round draw independent decisions (the transport
+        # layer may legitimately produce them; the sync loop never
+        # does, so seq stays 0 there and traces are unchanged).
+        self._seq_round = 0
+        self._link_seq: Dict[Tuple[str, str], int] = {}
         # Omission windows per node: (start, restart) pairs.
         self._windows: Dict[NodeId, List[Tuple[int, int]]] = {}
         for crash in plan.crashes:
@@ -112,6 +119,7 @@ class FaultInjector:
         recipient: NodeId,
         message: Any,
         until: Optional[int] = None,
+        seq: int = 0,
     ) -> None:
         record: Dict[str, Any] = {
             "round": round_index,
@@ -122,6 +130,11 @@ class FaultInjector:
         }
         if until is not None:
             record["until"] = until
+        # seq identifies the Nth message on this link this round; the
+        # common (and, under sync delivery, only) value 0 is omitted so
+        # committed traces stay byte-identical.
+        if seq:
+            record["seq"] = seq
         self._emit(record)
 
     # ------------------------------------------------------------------
@@ -184,49 +197,66 @@ class FaultInjector:
         later through :meth:`due`.  The decision order (omission,
         crash, partition, drop, delay, duplicate) is part of the trace
         contract — do not reorder.
+
+        Decisions are keyed by logical message identity ``(round,
+        sender, recipient, seq)`` — seq counts calls per link per
+        round — never by call order across links, so any transport's
+        iteration order reproduces the same trace.
         """
+        if round_index != self._seq_round:
+            self._seq_round = round_index
+            self._link_seq.clear()
+        link = (repr(sender), repr(recipient))
+        seq = self._link_seq.get(link, 0)
+        self._link_seq[link] = seq + 1
         plan = self.plan
         if self.is_down(sender, round_index):
             self._record_message(
-                round_index, "omit_send", sender, recipient, message
+                round_index, "omit_send", sender, recipient, message, seq=seq
             )
             return False
         if recipient in crashed:
             self._record_message(
-                round_index, "drop_crashed", sender, recipient, message
+                round_index, "drop_crashed", sender, recipient, message,
+                seq=seq,
             )
             return False
         if self.is_down(recipient, round_index):
             self._record_message(
-                round_index, "omit_recv", sender, recipient, message
+                round_index, "omit_recv", sender, recipient, message, seq=seq
             )
             return False
         if plan.partitioned(round_index, sender, recipient):
             self._record_message(
-                round_index, "drop_partition", sender, recipient, message
+                round_index, "drop_partition", sender, recipient, message,
+                seq=seq,
             )
             return False
-        if plan.drops(round_index, sender, recipient):
-            self._record_message(round_index, "drop", sender, recipient, message)
+        if plan.drops(round_index, sender, recipient, seq):
+            self._record_message(
+                round_index, "drop", sender, recipient, message, seq=seq
+            )
             return False
         deliver_now = True
-        delay = plan.delay_of(round_index, sender, recipient)
+        delay = plan.delay_of(round_index, sender, recipient, seq)
         if delay > 0:
             until = round_index + delay
             self._pending.setdefault(until, []).append(
                 (sender, recipient, message)
             )
             self._record_message(
-                round_index, "delay", sender, recipient, message, until=until
+                round_index, "delay", sender, recipient, message, until=until,
+                seq=seq,
             )
             deliver_now = False
-        if plan.duplicates(round_index, sender, recipient):
+        if plan.duplicates(round_index, sender, recipient, seq):
             until = round_index + 1
             self._pending.setdefault(until, []).append(
                 (sender, recipient, message)
             )
             self._record_message(
-                round_index, "duplicate", sender, recipient, message, until=until
+                round_index, "duplicate", sender, recipient, message,
+                until=until, seq=seq,
             )
         return deliver_now
 

@@ -134,44 +134,92 @@ class FaultPlan:
     # ------------------------------------------------------------------
 
     def _unit(
-        self, tag: str, round_index: int, sender: NodeId, recipient: NodeId
+        self,
+        tag: str,
+        round_index: int,
+        sender: NodeId,
+        recipient: NodeId,
+        seq: int = 0,
     ) -> float:
-        """A reproducible uniform draw in [0, 1) for one decision."""
+        """A reproducible uniform draw in [0, 1) for one decision.
+
+        ``seq`` distinguishes multiple decisions on the same link in
+        the same round — logical message identity is ``(round, sender,
+        recipient, seq)``, never loop position, so decisions are
+        byte-stable under any transport's iteration order.  ``seq=0``
+        (the only value synchronous delivery ever produces, since an
+        outbox holds one message per link) keys identically to the
+        legacy 4-component derivation, keeping committed fault traces
+        byte-identical.
+        """
+        if seq:
+            return (
+                derive_seed(
+                    self.seed, tag, round_index,
+                    repr(sender), repr(recipient), seq,
+                )
+                / _UNIT
+            )
         return (
             derive_seed(self.seed, tag, round_index, repr(sender), repr(recipient))
             / _UNIT
         )
 
     def drops(
-        self, round_index: int, sender: NodeId, recipient: NodeId
+        self,
+        round_index: int,
+        sender: NodeId,
+        recipient: NodeId,
+        seq: int = 0,
     ) -> bool:
         """Whether the message sent this round on this link is lost."""
         if self.drop_rate <= 0.0:
             return False
-        return self._unit("drop", round_index, sender, recipient) < self.drop_rate
+        return (
+            self._unit("drop", round_index, sender, recipient, seq)
+            < self.drop_rate
+        )
 
     def duplicates(
-        self, round_index: int, sender: NodeId, recipient: NodeId
+        self,
+        round_index: int,
+        sender: NodeId,
+        recipient: NodeId,
+        seq: int = 0,
     ) -> bool:
         """Whether the message is delivered a second time next round."""
         if self.duplicate_rate <= 0.0:
             return False
         return (
-            self._unit("duplicate", round_index, sender, recipient)
+            self._unit("duplicate", round_index, sender, recipient, seq)
             < self.duplicate_rate
         )
 
     def delay_of(
-        self, round_index: int, sender: NodeId, recipient: NodeId
+        self,
+        round_index: int,
+        sender: NodeId,
+        recipient: NodeId,
+        seq: int = 0,
     ) -> int:
         """How many rounds the message is held (0 = delivered on time)."""
         if self.delay_rate <= 0.0:
             return 0
-        if self._unit("delay", round_index, sender, recipient) >= self.delay_rate:
+        if (
+            self._unit("delay", round_index, sender, recipient, seq)
+            >= self.delay_rate
+        ):
             return 0
-        amount = derive_seed(
-            self.seed, "delay-amount", round_index, repr(sender), repr(recipient)
-        )
+        if seq:
+            amount = derive_seed(
+                self.seed, "delay-amount", round_index,
+                repr(sender), repr(recipient), seq,
+            )
+        else:
+            amount = derive_seed(
+                self.seed, "delay-amount", round_index,
+                repr(sender), repr(recipient),
+            )
         return 1 + amount % self.max_delay
 
     def partitioned(

@@ -142,6 +142,16 @@ class RunManifest:
             "worker_timings": list(worker_timings),
         }
 
+    def record_transport(self, transport: Any) -> None:
+        """Record a delivery transport's shape under ``extra``.
+
+        Duck-typed (``transport`` is any object with a ``describe()``
+        returning a JSON-safe dict — see :class:`~repro.congest.
+        transport.Transport`) to keep ``repro.obs``
+        import-independent of ``repro.congest``.
+        """
+        self.extra["transport"] = dict(transport.describe())
+
     def record_fault_plan(self, plan: Any) -> None:
         """Record a :class:`~repro.faults.plan.FaultPlan` under ``extra``.
 

@@ -217,6 +217,62 @@ class CausalTracer:
             record["fault"] = "drop_late"
         return tid
 
+    # ------------------------------------------------------------------
+    # Transport hooks (non-synchronous transports; docs/transport.md)
+    # ------------------------------------------------------------------
+
+    def on_transport_defer(
+        self, tid: str, until: int, latency: int
+    ) -> None:
+        """Mark message ``tid`` as in flight until round ``until``.
+
+        Driven by latency-bearing transports; the message record keeps
+        fate ``deferred`` (the injector-delay vocabulary) plus the
+        drawn ``latency``, and a ``redelivery`` record lands when the
+        transport deposits it.
+        """
+        record = self._by_id.get(tid)
+        if record is None:
+            return
+        record["fate"] = "deferred"
+        record["until"] = until
+        record["latency"] = latency
+
+    def on_transport_delivery(
+        self, round_index: int, tid: Optional[str], to_repr: str
+    ) -> None:
+        """Record a transport-deferred message landing this round.
+
+        Advances the recipient's causal head exactly like an injector
+        redelivery: the head update is buffered and applied at
+        ``end_round``, so a round-``r`` arrival parents round-``r+1``
+        sends.
+        """
+        if tid is None:
+            return
+        self.records.append(
+            {
+                "type": "redelivery",
+                "round": round_index,
+                "id": tid,
+                "to": to_repr,
+                "via": "transport",
+            }
+        )
+        self._pending_heads.append((to_repr, tid))
+        self._received[to_repr] = self._received.get(to_repr, 0) + 1
+
+    def on_transport_drop(
+        self, round_index: int, tid: Optional[str]
+    ) -> None:
+        """Record an in-flight message lost to a dead recipient."""
+        if tid is None:
+            return
+        record = self._by_id.get(tid)
+        if record is not None:
+            record["fate"] = "dropped"
+            record["fault"] = "drop_late"
+
     def on_node_fault(self, record: Dict[str, Any]) -> None:
         """Record a node-level injector event (crash/down/restart)."""
         entry = {"type": record["action"], "round": record["round"],

@@ -1,6 +1,15 @@
-"""Synthetic workload generators."""
+"""Synthetic workload generators and transport latency models."""
 
 from repro.workloads.churn import ChurnConfig, churn_stream
+from repro.workloads.latency import (
+    LATENCY_KINDS,
+    ZERO_LATENCY,
+    FixedLatency,
+    GeometricLatency,
+    PerLinkLatency,
+    UniformLatency,
+    parse_latency,
+)
 from repro.workloads.generators import (
     GENERATORS,
     adversarial_gale_shapley,
@@ -19,7 +28,13 @@ from repro.workloads.generators import (
 
 __all__ = [
     "ChurnConfig",
+    "FixedLatency",
     "GENERATORS",
+    "GeometricLatency",
+    "LATENCY_KINDS",
+    "PerLinkLatency",
+    "UniformLatency",
+    "ZERO_LATENCY",
     "adversarial_gale_shapley",
     "almost_regular",
     "bounded_degree",
@@ -31,6 +46,7 @@ __all__ = [
     "gnp_incomplete",
     "make_instance",
     "master_list",
+    "parse_latency",
     "regular_bipartite",
     "zipf_popularity",
 ]

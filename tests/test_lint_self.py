@@ -318,6 +318,24 @@ def test_det003_exempts_the_parallel_package(tmp_path):
     assert not any(v.rule == "DET003" for v in inside.violations)
 
 
+def test_det003_exempts_the_transport_module(tmp_path):
+    """The sharded transport's per-round latency fan-out is the other
+    sanctioned process-pool site — but only that one file: its siblings
+    under repro.congest stay in scope."""
+    source = (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "import multiprocessing\n"
+    )
+    sibling = _lint_snippet(
+        tmp_path, "src/repro/congest/fixture_fanout.py", source
+    )
+    assert any(v.rule == "DET003" for v in sibling.violations)
+    transport = _lint_snippet(
+        tmp_path, "src/repro/congest/transport.py", source
+    )
+    assert not any(v.rule == "DET003" for v in transport.violations)
+
+
 @pytest.mark.parametrize("family", REQUIRED_FAMILIES)
 def test_disabling_a_family_would_be_detected(tmp_path, family):
     """The gate the acceptance criteria ask for: with any family
